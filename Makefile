@@ -1,0 +1,24 @@
+# Convenience targets for the RLD reproduction.
+
+.PHONY: install test bench bench-tables examples all
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-tables:
+	pytest benchmarks/ --benchmark-only -s
+
+examples:
+	python examples/quickstart.py
+	python examples/stock_monitoring.py
+	python examples/sensor_network.py
+	python examples/fluctuation_tolerance.py
+	python examples/deploy_workflow.py
+
+all: install test bench

@@ -1,0 +1,158 @@
+"""Shared machinery for the per-figure benchmark modules.
+
+Each ``benchmarks/test_*.py`` module regenerates one table or figure of
+the paper's §6 evaluation: it computes the same rows/series the paper
+plots, prints them in a readable panel (captured by pytest's ``-s`` or
+shown in the benchmark summary), and times a representative kernel via
+pytest-benchmark.  This module holds the scenario builders and table
+printers they share.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.core import (
+    Cluster,
+    EarlyTerminatedRobustPartitioning,
+    ExhaustiveSearch,
+    NormalOccurrenceModel,
+    ParameterSpace,
+    PlanLoadTable,
+    RandomSearch,
+)
+from repro.query import Query
+from repro.query.optimizer import make_optimizer
+
+#: The 2-D dimensions used for Q1's logical-plan experiments: the two
+#: near-unit-fanout joins whose rank crossings span many optimal plans.
+Q1_DIMS = ("sel:1", "sel:3")
+
+#: Q2 dimension ladder for the Figure 12 dimensionality sweep.
+Q2_DIM_LADDER = ("sel:1", "sel:3", "sel:5", "sel:0", "sel:7")
+
+
+def space_for(
+    query: Query,
+    dims: Sequence[str],
+    level: int,
+    *,
+    points_per_level: int = 2,
+) -> ParameterSpace:
+    """Parameter space over ``dims`` at one uncertainty level."""
+    estimate = query.default_estimates({d: level for d in dims})
+    return ParameterSpace.from_estimates(
+        estimate, points_per_level=points_per_level
+    )
+
+
+def logical_searchers(query: Query, space: ParameterSpace, epsilon: float):
+    """Fresh ES / RS / ERP instances sharing nothing (separate counters)."""
+    return {
+        "ES": ExhaustiveSearch(query, space, epsilon=epsilon),
+        "RS": RandomSearch(query, space, epsilon=epsilon, seed=7),
+        "ERP": EarlyTerminatedRobustPartitioning(query, space, epsilon=epsilon),
+    }
+
+
+def load_table_for(
+    query: Query,
+    dims: Sequence[str],
+    level: int,
+    *,
+    epsilon: float = 0.2,
+) -> PlanLoadTable:
+    """Robust logical solution → plan load table, the physical bench input."""
+    space = space_for(query, dims, level)
+    solution = EarlyTerminatedRobustPartitioning(
+        query, space, epsilon=epsilon
+    ).run().solution
+    occurrence = NormalOccurrenceModel(space)
+    return PlanLoadTable.from_solution(solution, occurrence=occurrence)
+
+
+def sized_cluster(
+    table: PlanLoadTable, n_nodes: int, *, headroom: float = 1.15
+) -> Cluster:
+    """Homogeneous cluster able to host the *heaviest single operator*.
+
+    Capacity is the larger of (heaviest worst-case operator) and (total
+    worst-case load / nodes), scaled by ``headroom`` — tight enough that
+    small clusters cannot support every robust plan, which is what the
+    Figure 13/14 sweeps need.
+    """
+    peak_loads = table.max_loads()
+    per_node = max(
+        max(peak_loads.values()), sum(peak_loads.values()) / n_nodes
+    )
+    return Cluster.homogeneous(n_nodes, per_node * headroom)
+
+
+def panel_capacity(table: PlanLoadTable, machine_counts: Sequence[int]) -> float:
+    """Per-node capacity for one Figure 13/14 panel.
+
+    The tightest capacity that can host the heaviest single operator,
+    while guaranteeing the largest cluster in the sweep enough total
+    headroom for the combined (max-load) plan profile and the smallest
+    cluster enough for the lightest single plan.  This puts the
+    coverage knee *inside* the machine sweep, giving Figure 14 its
+    ramp-then-saturate shape.
+    """
+    all_ops = table.operator_ids
+    peak = table.max_loads()
+    heaviest_op = max(peak.values())
+    total_combined = sum(peak.values())
+    lightest_plan = min(
+        table.config_load(i, all_ops) for i in range(table.n_plans)
+    )
+    return max(
+        heaviest_op * 1.02,
+        total_combined / max(machine_counts) * 1.05,
+        lightest_plan / min(machine_counts) * 1.15,
+    )
+
+
+def estimate_point_optimum(query: Query):
+    """The single estimate-point optimal plan (baselines' fixed plan)."""
+    return make_optimizer(query).optimize(query.estimate_point())
+
+
+# ----------------------------------------------------------------------
+# Panel printing
+# ----------------------------------------------------------------------
+
+def format_cell(value) -> str:
+    """Uniform cell rendering: floats get 3 significant digits."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "stalled"
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000:
+            return f"{value:.0f}"
+        if magnitude >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def print_panel(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Mapping[str, object]],
+) -> None:
+    """Print one figure panel as an aligned text table."""
+    rendered = [
+        {col: format_cell(row.get(col, "")) for col in columns} for row in rows
+    ]
+    widths = {
+        col: max(len(col), *(len(r[col]) for r in rendered)) if rendered else len(col)
+        for col in columns
+    }
+    print(f"\n--- {title} ---")
+    print(" | ".join(col.rjust(widths[col]) for col in columns))
+    print("-+-".join("-" * widths[col] for col in columns))
+    for row in rendered:
+        print(" | ".join(row[col].rjust(widths[col]) for col in columns))

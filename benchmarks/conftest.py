@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+Keeps pytest-benchmark rounds small: every benchmark kernel here is a
+full experiment (an ERP run, an OptPrune search, a simulation), so one
+round per kernel is both representative and affordable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a kernel exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

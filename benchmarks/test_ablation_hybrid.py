@@ -1,0 +1,87 @@
+"""Ablation: the migration escape hatch (RLD vs RLD+M) outside the space.
+
+§2.2 concedes that fluctuations beyond the compiled parameter space may
+"have to exploit operator migration ... after all".  This bench runs
+pure RLD and the hybrid variant at rate ratios inside (1×), at the edge
+of (1.2×), and far beyond (3×, 4×) the compiled space, confirming that
+
+* inside the space the hybrid is exactly RLD (zero migrations), and
+* far outside it the fallback migrations recover throughput that the
+  frozen placement loses.
+"""
+
+from __future__ import annotations
+
+import pytest
+from _harness import print_panel
+
+from repro.core import Cluster, RLDConfig, RLDOptimizer
+from repro.engine import StreamSimulator
+from repro.runtime import RLDHybridStrategy, RLDStrategy
+from repro.workloads import build_q1, stock_workload
+
+RATIOS = (1.0, 1.2, 3.0, 4.0)
+DURATION = 180.0
+SEED = 37
+
+
+def sweep() -> list[dict[str, object]]:
+    query = build_q1()
+    estimate = query.default_estimates(
+        {op.selectivity_param: 3 for op in query.operators} | {"rate": 2}
+    )
+    cluster = Cluster.homogeneous(4, 420.0)
+    solution = RLDOptimizer(query, cluster, config=RLDConfig(epsilon=0.2)).solve(
+        estimate
+    )
+    rows = []
+    for ratio in RATIOS:
+        workload = stock_workload(query, uncertainty_level=3).scaled(ratio)
+        pure = RLDStrategy(solution)
+        # Tolerance 1.2: monitor noise plus the workload's own ±30%
+        # pulsing must not count as "left the space".
+        hybrid = RLDHybridStrategy(
+            solution,
+            space_tolerance=1.2,
+            saturation_threshold=0.9,
+            cooldown_seconds=15.0,
+        )
+        pure_report = StreamSimulator(
+            query, cluster, pure, workload, seed=SEED
+        ).run(DURATION)
+        hybrid_report = StreamSimulator(
+            query, cluster, hybrid, workload, seed=SEED
+        ).run(DURATION)
+        rows.append(
+            {
+                "rate ratio": f"{ratio:.0%}",
+                "RLD ms": pure_report.avg_tuple_latency_ms,
+                "RLD+M ms": hybrid_report.avg_tuple_latency_ms,
+                "RLD done": pure_report.batches_completed,
+                "RLD+M done": hybrid_report.batches_completed,
+                "migrations": hybrid_report.migrations,
+            }
+        )
+    return rows
+
+
+def test_ablation_hybrid_escape_hatch(run_once):
+    rows = run_once(sweep)
+    print_panel(
+        "Ablation — pure RLD vs RLD with migration escape hatch",
+        ["rate ratio", "RLD ms", "RLD+M ms", "RLD done", "RLD+M done", "migrations"],
+        rows,
+    )
+    by_ratio = {row["rate ratio"]: row for row in rows}
+    # Inside the compiled space the hybrid never migrates: it IS RLD.
+    assert by_ratio["100%"]["migrations"] == 0
+    assert by_ratio["100%"]["RLD+M ms"] == pytest.approx(
+        by_ratio["100%"]["RLD ms"], rel=1e-9
+    )
+    # Far outside the space the fallback fires...
+    assert by_ratio["400%"]["migrations"] > 0
+    # ...and at the deepest overload it recovers completed work the
+    # frozen placement loses (at 300% migrations may merely break even).
+    assert by_ratio["400%"]["RLD+M done"] >= by_ratio["400%"]["RLD done"]
+    assert by_ratio["300%"]["RLD+M done"] >= by_ratio["300%"]["RLD done"] * 0.85
+

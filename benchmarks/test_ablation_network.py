@@ -1,0 +1,73 @@
+"""Ablation: does the §2.1 "network is not the bottleneck" assumption hold?
+
+The paper assumes a high-bandwidth network and charges nothing for
+inter-node data movement.  This bench validates that assumption in the
+simulated regime and shows where it breaks: RLD's latency under the
+default scenario with a free network, a datacenter-grade network
+(0.5 ms/hop), and two degraded networks.  Only when per-hop costs reach
+WAN-like levels does data movement become a first-order term.
+"""
+
+from __future__ import annotations
+
+from _harness import print_panel
+
+from repro.core import Cluster, RLDConfig, RLDOptimizer
+from repro.engine import NetworkModel, StreamSimulator
+from repro.runtime import RLDStrategy
+from repro.workloads import build_q1, stock_workload
+
+DURATION = 180.0
+SEED = 53
+
+NETWORKS = {
+    "free (paper)": None,
+    "datacenter": NetworkModel(),
+    "slow LAN": NetworkModel(latency_seconds=0.01, bandwidth_bytes_per_second=12_500_000.0),
+    "WAN-like": NetworkModel(latency_seconds=0.05, bandwidth_bytes_per_second=1_250_000.0),
+}
+
+
+def sweep() -> list[dict[str, object]]:
+    query = build_q1()
+    estimate = query.default_estimates(
+        {op.selectivity_param: 3 for op in query.operators} | {"rate": 2}
+    )
+    cluster = Cluster.homogeneous(4, 420.0)
+    solution = RLDOptimizer(query, cluster, config=RLDConfig(epsilon=0.2)).solve(
+        estimate
+    )
+    workload = stock_workload(query, uncertainty_level=3)
+    rows = []
+    for name, network in NETWORKS.items():
+        strategy = RLDStrategy(solution)
+        report = StreamSimulator(
+            query, cluster, strategy, workload, seed=SEED, network=network
+        ).run(DURATION)
+        rows.append(
+            {
+                "network": name,
+                "latency ms": report.avg_tuple_latency_ms,
+                "network s": report.network_seconds,
+                "done": report.batches_completed,
+            }
+        )
+    return rows
+
+
+def test_ablation_network_assumption(run_once):
+    rows = run_once(sweep)
+    print_panel(
+        "Ablation — sensitivity to inter-node network cost (RLD)",
+        ["network", "latency ms", "network s", "done"],
+        rows,
+    )
+    by_name = {row["network"]: row for row in rows}
+    free = by_name["free (paper)"]
+    datacenter = by_name["datacenter"]
+    # The paper's assumption: a datacenter network changes latency by
+    # a negligible margin.
+    assert free["network s"] == 0.0
+    assert datacenter["latency ms"] <= free["latency ms"] * 1.10
+    # A WAN-like network, by contrast, is clearly visible.
+    assert by_name["WAN-like"]["latency ms"] > free["latency ms"]

@@ -1,0 +1,52 @@
+"""Figure 10: number of optimizer calls vs uncertainty level.
+
+Three panels (ε = 0.1, 0.2, 0.3), each sweeping the uncertainty level
+U = 1..5 on Q1's 2-D selectivity space and counting the optimizer calls
+made by ES, RS, and ERP.  The paper's shape: ES grows quadratically
+with U (one call per grid point), RS sits in between, and ERP is the
+cheapest while growing gently — tighter ε costs ERP more calls.
+"""
+
+from __future__ import annotations
+
+import pytest
+from _harness import Q1_DIMS, logical_searchers, print_panel, space_for
+
+from repro.workloads import build_q1
+
+EPSILONS = (0.1, 0.2, 0.3)
+LEVELS = (1, 2, 3, 4, 5)
+
+
+def sweep(epsilon: float) -> list[dict[str, object]]:
+    query = build_q1()
+    rows = []
+    for level in LEVELS:
+        space = space_for(query, Q1_DIMS, level)
+        row: dict[str, object] = {"U": level, "grid": space.n_points}
+        for name, searcher in logical_searchers(query, space, epsilon).items():
+            result = searcher.run()
+            row[name] = result.optimizer_calls
+            if name == "ERP":
+                row["ERP plans"] = result.plans_found
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.parametrize("epsilon", EPSILONS)
+def test_fig10_optimizer_calls(epsilon, run_once):
+    rows = run_once(sweep, epsilon)
+    print_panel(
+        f"Figure 10 — optimizer calls vs U (epsilon={epsilon})",
+        ["U", "grid", "ES", "RS", "ERP", "ERP plans"],
+        rows,
+    )
+    for row in rows:
+        # ES pays one call per grid point; ERP never exceeds ES.
+        assert row["ES"] == row["grid"]
+        assert row["ERP"] <= row["ES"]
+    # ERP's cost grows with the uncertainty level overall.
+    assert rows[-1]["ERP"] >= rows[0]["ERP"]
+    # ES cost strictly grows with U (larger discretized space).
+    es_calls = [row["ES"] for row in rows]
+    assert es_calls == sorted(es_calls)

@@ -1,0 +1,52 @@
+"""Figure 12: optimizer calls vs parameter-space dimensionality.
+
+Three panels for the paper's (ε, U) configurations (0.3, 1), (0.2, 2),
+(0.1, 3), sweeping the dimensionality of Q2's parameter space from 2 to
+5.  The paper's shape: ES explodes exponentially with the number of
+dimensions (it must visit every cell of the d-dimensional grid), while
+ERP grows far more slowly thanks to weighted partitioning plus early
+termination.
+"""
+
+from __future__ import annotations
+
+import pytest
+from _harness import Q2_DIM_LADDER, logical_searchers, print_panel, space_for
+
+from repro.workloads import build_q2
+
+CONFIGS = ((0.3, 1), (0.2, 2), (0.1, 3))
+DIMENSIONS = (2, 3, 4, 5)
+
+
+def sweep(epsilon: float, level: int) -> list[dict[str, object]]:
+    query = build_q2()
+    rows = []
+    for n_dims in DIMENSIONS:
+        dims = Q2_DIM_LADDER[:n_dims]
+        space = space_for(query, dims, level)
+        row: dict[str, object] = {"dims": n_dims, "grid": space.n_points}
+        for name, searcher in logical_searchers(query, space, epsilon).items():
+            result = searcher.run()
+            row[name] = result.optimizer_calls
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.parametrize("epsilon,level", CONFIGS)
+def test_fig12_dimensionality(epsilon, level, run_once):
+    rows = run_once(sweep, epsilon, level)
+    print_panel(
+        f"Figure 12 — optimizer calls vs dimensions (epsilon={epsilon}, U={level})",
+        ["dims", "grid", "ES", "RS", "ERP"],
+        rows,
+    )
+    es_calls = [row["ES"] for row in rows]
+    erp_calls = [row["ERP"] for row in rows]
+    # ES grows exponentially with dimensionality (one call per cell).
+    for a, b in zip(es_calls, es_calls[1:]):
+        assert b > a
+    # ERP stays well below ES at the highest dimensionality.
+    assert erp_calls[-1] < es_calls[-1] / 3
+    # ERP growth is much gentler than the grid explosion.
+    assert erp_calls[-1] / max(erp_calls[0], 1) < es_calls[-1] / es_calls[0]

@@ -1,0 +1,104 @@
+"""Figure 15b: total tuples produced over time under a rate ramp.
+
+Reproduces the paper's 60-minute run with input rates stepping from
+50% to 100% at minute 20 and to 200% at minute 40 (time is compressed
+5:1 — 4 simulated minutes per paper segment keeps the bench fast while
+preserving queueing dynamics).  The paper's shape: all three track each
+other early; after the 200% step ROD's static plan saturates its
+bottleneck node and falls behind, DYN keeps migrating but pays
+state-proportional stalls, and RLD keeps processing by switching to the
+cheapest (and, under saturation, least-bottlenecked) robust plan.
+
+Two series are printed per strategy: **output tuples** (the paper's
+y-axis) and **source tuples processed** (completed batches × batch
+size).  With fluctuating selectivities, output counts are additionally
+modulated by *when* each operator samples its selectivity — slower
+pipelines decorrelate those samples, slightly inflating their expected
+output — so processed tuples is the cleaner throughput measure; the
+headline assertions use it.
+"""
+
+from __future__ import annotations
+
+from _harness import print_panel
+
+from repro.core import Cluster, RLDConfig, RLDOptimizer
+from repro.engine import StreamSimulator
+from repro.runtime.comparison import build_standard_strategies
+from repro.workloads import StepRate, Workload, build_q1
+from repro.workloads.generators import RegimeSwitchSelectivity
+
+#: 5:1 time compression of the paper's 60-minute run.
+DURATION = 720.0
+STEPS = ((0.0, 0.5), (DURATION / 3, 1.0), (2 * DURATION / 3, 2.0))
+INTERVAL = 60.0
+SEED = 47
+CAPACITY = 250.0
+
+
+def sweep() -> dict[str, dict[str, list[tuple[float, float]]]]:
+    query = build_q1()
+    # Selectivity-only uncertainty: rates are monitored exactly, so the
+    # cluster is provisioned for the selectivity space at the estimate
+    # rate — the paper's setting, where the 200% step then exceeds what
+    # a static single-plan layout can absorb.
+    estimate = query.default_estimates(
+        {op.selectivity_param: 3 for op in query.operators}
+    )
+    cluster = Cluster.homogeneous(4, CAPACITY)
+    solution = RLDOptimizer(query, cluster, config=RLDConfig(epsilon=0.2)).solve(
+        estimate
+    )
+    levels = {op.op_id: 3 for op in query.operators}
+    workload = Workload(
+        query,
+        rate_profile=StepRate(STEPS),
+        selectivity_profile=RegimeSwitchSelectivity(levels, period=60.0, mode="sine"),
+    )
+    strategies = build_standard_strategies(
+        query, cluster, estimate=estimate, rld_solution=solution
+    )
+    series: dict[str, dict[str, list[tuple[float, float]]]] = {}
+    for name in ("ROD", "DYN", "RLD"):
+        simulator = StreamSimulator(
+            query, cluster, strategies[name], workload, seed=SEED
+        )
+        report = simulator.run(DURATION)
+        series[name] = {
+            "output": report.produced_timeline(INTERVAL),
+            "processed": report.produced_timeline(INTERVAL, weights="input"),
+        }
+    return series
+
+
+def test_fig15b_total_tuples_produced(run_once):
+    series = run_once(sweep)
+    rows = []
+    for i, (t, _) in enumerate(series["ROD"]["output"]):
+        row: dict[str, object] = {"minute": t / 60.0}
+        for name in ("ROD", "DYN", "RLD"):
+            row[f"{name} out"] = series[name]["output"][i][1]
+            row[f"{name} proc"] = series[name]["processed"][i][1]
+        rows.append(row)
+    print_panel(
+        "Figure 15b — cumulative tuples produced (rates 50% → 100% → 200%)",
+        ["minute", "ROD out", "ROD proc", "DYN out", "DYN proc", "RLD out", "RLD proc"],
+        rows,
+    )
+    final = rows[-1]
+    # RLD processes the most stream data end-to-end.
+    assert final["RLD proc"] >= final["ROD proc"]
+    assert final["RLD proc"] >= final["DYN proc"]
+    # After the 200% step RLD's processing rate beats ROD's — the
+    # static plan saturates, the classifier's plan switching does not.
+    step_index = next(
+        i for i, row in enumerate(rows) if row["minute"] * 60.0 >= 2 * DURATION / 3
+    )
+    rod_late = final["ROD proc"] - rows[step_index]["ROD proc"]
+    rld_late = final["RLD proc"] - rows[step_index]["RLD proc"]
+    assert rld_late > rod_late
+    # Cumulative curves never decrease.
+    for name in ("ROD", "DYN", "RLD"):
+        for kind in ("out", "proc"):
+            column = [row[f"{name} {kind}"] for row in rows]
+            assert column == sorted(column)

@@ -1,0 +1,81 @@
+"""§6.5 "Runtime Overhead": RLD's classification cost vs DYN's migrations.
+
+The paper measures RLD's only runtime overhead — classifying each
+arriving batch to a robust logical plan — at about 2% of query
+execution cost, while DYN pays continuous migration stalls and ROD, by
+construction, pays nothing beyond query processing.  This bench
+regenerates that comparison.
+"""
+
+from __future__ import annotations
+
+from _harness import print_panel
+
+from repro.core import Cluster, RLDConfig, RLDOptimizer
+from repro.runtime.comparison import build_standard_strategies, compare_strategies
+from repro.workloads import build_q1, stock_workload
+
+DURATION = 240.0
+SEED = 5
+
+
+def sweep() -> list[dict[str, object]]:
+    query = build_q1()
+    estimate = query.default_estimates(
+        {op.selectivity_param: 3 for op in query.operators} | {"rate": 2}
+    )
+    cluster = Cluster.homogeneous(4, 420.0)
+    solution = RLDOptimizer(query, cluster, config=RLDConfig(epsilon=0.2)).solve(
+        estimate
+    )
+    workload = stock_workload(query, uncertainty_level=3, regime_period=60.0)
+    strategies = build_standard_strategies(
+        query, cluster, estimate=estimate, rld_solution=solution
+    )
+    comparison = compare_strategies(
+        query, cluster, workload, strategies, duration=DURATION, seed=SEED
+    )
+    rows = []
+    for name, report in comparison.reports.items():
+        rows.append(
+            {
+                "strategy": name,
+                "overhead fraction": 0.0
+                if report.processing_seconds == 0
+                else (report.overhead_seconds + report.migration_stall_seconds)
+                / report.processing_seconds,
+                "classification s": report.overhead_seconds,
+                "migration stalls s": report.migration_stall_seconds,
+                "migrations": report.migrations,
+                "plan switches": report.plan_switches,
+            }
+        )
+    return rows
+
+
+def test_runtime_overhead(run_once):
+    rows = run_once(sweep)
+    print_panel(
+        "§6.5 — runtime overhead beyond query processing",
+        [
+            "strategy",
+            "overhead fraction",
+            "classification s",
+            "migration stalls s",
+            "migrations",
+            "plan switches",
+        ],
+        rows,
+    )
+    by_name = {row["strategy"]: row for row in rows}
+    # ROD: a single static plan — zero overhead of any kind.
+    assert by_name["ROD"]["overhead fraction"] == 0.0
+    # RLD: only the per-batch classification, ≈ 2% of execution cost.
+    rld = by_name["RLD"]
+    assert 0.005 <= rld["overhead fraction"] <= 0.04
+    assert rld["migration stalls s"] == 0.0
+    # DYN: pays real migration stalls and nothing for classification.
+    dyn = by_name["DYN"]
+    assert dyn["classification s"] == 0.0
+    if dyn["migrations"]:
+        assert dyn["migration stalls s"] > 0.0

@@ -1,0 +1,43 @@
+"""Table 2: system parameters and data distribution moments.
+
+Regenerates the Uniform(0, 100) and Poisson(λ=1) moment rows the paper
+prints, alongside the paper's reported values for direct comparison.
+"""
+
+from __future__ import annotations
+
+from _harness import print_panel
+
+from repro.workloads import table2_distributions
+
+#: Table 2's printed values for each distribution.
+PAPER_ROWS = {
+    "Uniform": {
+        "min": 0.0, "max": 100.0, "med": 49.0, "mean": 49.7,
+        "ave.dev": 25.2, "st.dev": 29.14, "var": 849.18,
+        "skew": 0.05, "kurt": -1.18,
+    },
+    "Poisson": {
+        "min": 0.0, "max": 7.0, "med": 1.0, "mean": 0.97,
+        "ave.dev": 0.74, "st.dev": 1.01, "var": 1.02,
+        "skew": 1.17, "kurt": 1.89,
+    },
+}
+
+COLUMNS = ["source", "min", "max", "med", "mean", "ave.dev", "st.dev", "var", "skew", "kurt"]
+
+
+def test_table2_distribution_moments(run_once):
+    summaries = run_once(table2_distributions, 100_000, 2012)
+
+    for name, summary in summaries.items():
+        measured = {"source": "measured", **summary.as_row()}
+        paper = {"source": "paper", **PAPER_ROWS[name]}
+        print_panel(f"Table 2 — {summary.name}", COLUMNS, [paper, measured])
+
+    uniform = summaries["Uniform"]
+    assert abs(uniform.mean - 50.0) < 1.0
+    assert abs(uniform.kurtosis - (-1.2)) < 0.1
+    poisson = summaries["Poisson"]
+    assert abs(poisson.mean - 1.0) < 0.05
+    assert abs(poisson.skew - 1.0) < 0.1

@@ -1,0 +1,60 @@
+"""How far do the strategies bend before they break? (mini Figure 15a)
+
+Sweeps the input-rate fluctuation ratio from 50% to 400% of the
+compile-time estimate and reports each strategy's average tuple
+processing time.  Inside the compiled parameter space RLD is flat
+(robust); far outside it (400%) resources are simply insufficient for a
+single static placement and the migration-based DYN catches up — the
+same crossover the paper reports.
+
+Run:  python examples/fluctuation_tolerance.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import Cluster, RLDConfig, RLDOptimizer
+from repro.runtime.comparison import build_standard_strategies, compare_strategies
+from repro.workloads import build_q1, stock_workload
+
+RATIOS = (0.5, 1.0, 2.0, 3.0, 4.0)
+
+
+def main() -> None:
+    query = build_q1()
+    estimate = query.default_estimates(
+        {op.selectivity_param: 3 for op in query.operators} | {"rate": 2}
+    )
+    cluster = Cluster.homogeneous(4, 420.0)
+    solution = RLDOptimizer(
+        query, cluster, config=RLDConfig(epsilon=0.2)
+    ).solve(estimate)
+    print(f"Compiled RLD: {len(solution.logical)} robust plans, "
+          f"{len(solution.supported_plans)} supported by the physical plan\n")
+
+    print(f"{'rate ratio':>10} | {'ROD':>10} | {'DYN':>10} | {'RLD':>10}   (avg ms/tuple)")
+    print("-" * 55)
+    for ratio in RATIOS:
+        workload = stock_workload(query, uncertainty_level=3).scaled(ratio)
+        strategies = build_standard_strategies(
+            query, cluster, estimate=estimate, rld_solution=solution
+        )
+        comparison = compare_strategies(
+            query, cluster, workload, strategies, duration=180.0, seed=29
+        )
+        cells = []
+        for name in ("ROD", "DYN", "RLD"):
+            value = comparison.latency_ms(name)
+            cells.append("   stalled" if math.isnan(value) else f"{value:10.1f}")
+        print(f"{ratio:>9.0%} | {cells[0]} | {cells[1]} | {cells[2]}")
+
+    print("\nReading: RLD stays near-flat inside its compiled parameter "
+          "space (the level-2 rate dimension covers ±20% around the "
+          "estimate); beyond it every strategy saturates — the cluster "
+          "simply lacks the resources — and the margins between the "
+          "three collapse.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Quickstart: compile and run a Robust Load Distribution solution.
+
+Builds the paper's Q1 (5-way stream join), declares uncertainty on its
+statistics, compiles the two-step RLD solution (ERP robust logical
+plans + OptPrune robust physical plan), and simulates it against the
+static ROD baseline on a fluctuating stock-market stream.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Cluster, RLDConfig, RLDOptimizer
+from repro.runtime import RLDStrategy, RODStrategy, compare_strategies
+from repro.workloads import build_q1, stock_workload
+
+
+def main() -> None:
+    # 1. The query: a 5-way join monitoring stocks against news feeds.
+    query = build_q1()
+    print(f"Query {query.name}: {len(query)} operators over "
+          f"{len(query.streams)} streams\n")
+
+    # 2. Statistics estimates with uncertainty levels (Algorithm 1).
+    #    Level 3 means each selectivity may drift ±30% at runtime.
+    estimate = query.default_estimates(
+        {op.selectivity_param: 3 for op in query.operators} | {"rate": 2}
+    )
+
+    # 3. Compile the RLD solution for a 4-machine cluster.
+    cluster = Cluster.homogeneous(n_nodes=4, capacity=380.0)
+    optimizer = RLDOptimizer(query, cluster, config=RLDConfig(epsilon=0.2))
+    solution = optimizer.solve(estimate)
+    print(solution.summary())
+    print(f"\nCompile-time cost: {solution.partitioning.optimizer_calls} "
+          f"optimizer calls "
+          f"(early-terminated: {solution.partitioning.terminated_early})")
+
+    # 4. Simulate 5 minutes of a regime-switching market against ROD.
+    workload = stock_workload(query, uncertainty_level=3, regime_period=60.0)
+    strategies = {
+        "RLD": RLDStrategy(solution),
+        "ROD": RODStrategy(query, cluster, estimate=estimate.point),
+    }
+    comparison = compare_strategies(
+        query, cluster, workload, strategies,
+        duration=300.0, seed=7, strategy_order=("ROD", "RLD"),
+    )
+
+    print("\n=== 5-minute simulation, regime-switching market ===")
+    header = f"{'strategy':>8} | {'avg latency':>12} | {'tuples out':>11} | {'migrations':>10} | {'plan switches':>13}"
+    print(header)
+    print("-" * len(header))
+    for name, report in comparison.reports.items():
+        print(
+            f"{name:>8} | {report.avg_tuple_latency_ms:>10.1f}ms "
+            f"| {report.tuples_out:>11.0f} | {report.migrations:>10} "
+            f"| {report.plan_switches:>13}"
+        )
+    speedup = comparison.latency_ms("ROD") / comparison.latency_ms("RLD")
+    print(f"\nRLD processes tuples {speedup:.2f}x faster than static ROD, "
+          f"with zero operator migrations.")
+
+
+if __name__ == "__main__":
+    main()

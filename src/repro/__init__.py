@@ -1,0 +1,91 @@
+"""repro — Robust Load Distribution (RLD) for distributed stream processing.
+
+A complete reproduction of *Robust Distributed Stream Processing*
+(Lei, Rundensteiner & Guttman; WPI-CS-TR-12-07 / ICDE 2013):
+
+* :mod:`repro.query` — queries, logical plans, cost model, point optimizer.
+* :mod:`repro.core` — parameter space, ERP/WRP robust logical solutions,
+  GreedyPhy/OptPrune robust physical plans, the RLD optimizer facade.
+* :mod:`repro.engine` — discrete-event simulated distributed stream
+  processing substrate (nodes, queues, batches, monitor, migration).
+* :mod:`repro.runtime` — the RLD runtime strategy plus ROD and DYN
+  baselines, and runtime metrics.
+* :mod:`repro.workloads` — synthetic stream generators (stock/news and
+  sensor), fluctuation profiles, and the paper's Q1/Q2 queries.
+
+Quickstart::
+
+    from repro import Cluster, RLDOptimizer
+    from repro.workloads import build_q1
+
+    query = build_q1()
+    estimate = query.default_estimates(
+        {op.selectivity_param: 3 for op in query.operators} | {"rate": 2}
+    )
+    cluster = Cluster.homogeneous(n_nodes=4, capacity=380.0)
+    solution = RLDOptimizer(query, cluster).solve(estimate)
+    print(solution.summary())
+"""
+
+from repro.core import (
+    Cluster,
+    EarlyTerminatedRobustPartitioning,
+    ExhaustiveSearch,
+    NormalOccurrenceModel,
+    ParameterSpace,
+    PhysicalPlan,
+    PlanLoadTable,
+    RLDConfig,
+    RLDOptimizer,
+    RLDSolution,
+    RandomSearch,
+    RobustLogicalSolution,
+    RobustnessChecker,
+    WeightedRobustPartitioning,
+    exhaustive_physical,
+    greedy_phy,
+    opt_prune,
+)
+from repro.query import (
+    JoinGraph,
+    LogicalPlan,
+    Operator,
+    PlanCostModel,
+    Query,
+    StatisticsEstimate,
+    StatPoint,
+    StreamSchema,
+    make_optimizer,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "EarlyTerminatedRobustPartitioning",
+    "ExhaustiveSearch",
+    "JoinGraph",
+    "LogicalPlan",
+    "NormalOccurrenceModel",
+    "Operator",
+    "ParameterSpace",
+    "PhysicalPlan",
+    "PlanCostModel",
+    "PlanLoadTable",
+    "Query",
+    "RLDConfig",
+    "RLDOptimizer",
+    "RLDSolution",
+    "RandomSearch",
+    "RobustLogicalSolution",
+    "RobustnessChecker",
+    "StatPoint",
+    "StatisticsEstimate",
+    "StreamSchema",
+    "WeightedRobustPartitioning",
+    "exhaustive_physical",
+    "greedy_phy",
+    "make_optimizer",
+    "opt_prune",
+    "__version__",
+]

@@ -1,0 +1,181 @@
+"""Command-line interface: compile, inspect, and simulate RLD solutions.
+
+Three subcommands, mirroring the library's workflow::
+
+    python -m repro compile  --query q1 --nodes 4 --capacity 380 --level 3
+    python -m repro diagram  --query q1 --dims sel:1 sel:3 --level 4
+    python -m repro simulate --query q1 --nodes 4 --capacity 380 --level 3 \
+        --duration 300 --strategies ROD DYN RLD
+
+``compile`` prints the robust logical solution and physical plan;
+``diagram`` renders the 2-D plan diagram of a space as ASCII;
+``simulate`` runs the §6.5 strategy comparison and prints the table.
+All commands are deterministic under ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core import Cluster, RLDConfig, RLDOptimizer, ParameterSpace
+from repro.core.diagram import compute_plan_diagram
+from repro.query import make_optimizer
+from repro.query.model import Query
+from repro.runtime.comparison import build_standard_strategies, compare_strategies
+from repro.workloads import build_nway, build_q1, build_q2, stock_workload
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_query(name: str) -> Query:
+    """Resolve a query spec: ``q1``, ``q2``, or ``nway:<k>``."""
+    if name == "q1":
+        return build_q1()
+    if name == "q2":
+        return build_q2()
+    if name.startswith("nway:"):
+        return build_nway(int(name.split(":", 1)[1]))
+    raise SystemExit(f"unknown query {name!r}; use q1, q2, or nway:<k>")
+
+
+def _estimate(query: Query, level: int, rate_level: int, dims: Sequence[str] | None):
+    if dims:
+        uncertainty = {d: level for d in dims}
+    else:
+        uncertainty = {op.selectivity_param: level for op in query.operators}
+        if rate_level > 0:
+            uncertainty["rate"] = rate_level
+    return query.default_estimates(uncertainty)
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    query = _load_query(args.query)
+    estimate = _estimate(query, args.level, args.rate_level, args.dims)
+    cluster = Cluster.homogeneous(args.nodes, args.capacity)
+    config = RLDConfig(epsilon=args.epsilon, physical_algorithm=args.algorithm)
+    solution = RLDOptimizer(query, cluster, config=config).solve(estimate)
+    print(solution.summary())
+    print(
+        f"\noptimizer calls : {solution.partitioning.optimizer_calls}"
+        f" (early stop: {solution.partitioning.terminated_early})"
+    )
+    print(f"physical compile: {solution.physical.compile_seconds * 1000:.2f} ms")
+    weights = solution.load_table
+    for plan in solution.logical.plans:
+        marker = "*" if plan in set(solution.supported_plans) else " "
+        print(f" {marker} weight {weights.weight_of(plan):.4f}  {plan.label}")
+    return 0 if solution.feasible else 1
+
+
+def _cmd_diagram(args: argparse.Namespace) -> int:
+    query = _load_query(args.query)
+    if len(args.dims or ()) != 2:
+        raise SystemExit("diagram requires exactly two --dims (a 2-D space)")
+    estimate = _estimate(query, args.level, 0, args.dims)
+    space = ParameterSpace.from_estimates(
+        estimate, points_per_level=args.points_per_level
+    )
+    diagram = compute_plan_diagram(space, make_optimizer(query))
+    if args.reduce_epsilon is not None:
+        diagram = diagram.reduce(args.reduce_epsilon)
+        print(f"(reduced at epsilon={args.reduce_epsilon})\n")
+    print(diagram.render())
+    print(f"\n{diagram.cardinality} distinct plans over {space.n_points} cells")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    query = _load_query(args.query)
+    estimate = _estimate(query, args.level, args.rate_level, args.dims)
+    cluster = Cluster.homogeneous(args.nodes, args.capacity)
+    strategies = build_standard_strategies(
+        query,
+        cluster,
+        estimate=estimate,
+        rld_config=RLDConfig(epsilon=args.epsilon),
+    )
+    workload = stock_workload(
+        query, uncertainty_level=args.level, regime_period=args.regime_period
+    ).scaled(args.rate_scale)
+    comparison = compare_strategies(
+        query,
+        cluster,
+        workload,
+        strategies,
+        duration=args.duration,
+        seed=args.seed,
+        strategy_order=tuple(args.strategies),
+    )
+    header = (
+        f"{'strategy':>8} | {'avg ms':>9} | {'p95 ms':>9} | {'tuples out':>11} "
+        f"| {'migrations':>10} | {'switches':>8} | {'overhead':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, report in comparison.reports.items():
+        print(
+            f"{name:>8} | {report.avg_tuple_latency_ms:>9.1f} "
+            f"| {report.latency_percentile_ms(95):>9.1f} "
+            f"| {report.tuples_out:>11.0f} | {report.migrations:>10} "
+            f"| {report.plan_switches:>8} | {report.overhead_fraction:>8.3f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Robust Load Distribution: compile, inspect, simulate.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--query", default="q1", help="q1, q2, or nway:<k>")
+        p.add_argument("--level", type=int, default=3, help="selectivity uncertainty level")
+        p.add_argument("--rate-level", type=int, default=2, help="rate uncertainty level (0 = exact)")
+        p.add_argument("--dims", nargs="*", default=None, help="explicit uncertain parameter names")
+        p.add_argument("--epsilon", type=float, default=0.2, help="Def. 1 robustness threshold")
+
+    p_compile = sub.add_parser("compile", help="compile an RLD solution")
+    common(p_compile)
+    p_compile.add_argument("--nodes", type=int, default=4)
+    p_compile.add_argument("--capacity", type=float, default=380.0)
+    p_compile.add_argument(
+        "--algorithm", default="optprune", choices=("optprune", "greedy", "exhaustive")
+    )
+    p_compile.set_defaults(handler=_cmd_compile)
+
+    p_diagram = sub.add_parser("diagram", help="render a 2-D plan diagram")
+    common(p_diagram)
+    p_diagram.add_argument("--points-per-level", type=int, default=4)
+    p_diagram.add_argument(
+        "--reduce-epsilon", type=float, default=None, help="apply diagram reduction"
+    )
+    p_diagram.set_defaults(handler=_cmd_diagram)
+
+    p_sim = sub.add_parser("simulate", help="run the strategy comparison")
+    common(p_sim)
+    p_sim.add_argument("--nodes", type=int, default=4)
+    p_sim.add_argument("--capacity", type=float, default=380.0)
+    p_sim.add_argument("--duration", type=float, default=300.0)
+    p_sim.add_argument("--seed", type=int, default=17)
+    p_sim.add_argument("--rate-scale", type=float, default=1.0)
+    p_sim.add_argument("--regime-period", type=float, default=60.0)
+    p_sim.add_argument(
+        "--strategies", nargs="+", default=["ROD", "DYN", "RLD"]
+    )
+    p_sim.set_defaults(handler=_cmd_simulate)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,160 @@
+"""Plan diagrams over the parameter space (§7's parametric-QO lens).
+
+A *plan diagram* (Reddy & Haritsa, VLDB'05) is the partition of a
+parameter space by which plan is optimal at each point.  The paper
+positions RLD against plan-diagram *reduction* — merging plans whose
+costs are "close enough" (Harish et al., PVLDB'08) — so this module
+provides both artifacts for analysis and debugging:
+
+* :func:`compute_plan_diagram` — the exact diagram of a space under a
+  black-box optimizer (one call per grid cell; this is the expensive
+  object ERP exists to avoid computing).
+* :meth:`PlanDiagram.reduce` — greedy ε-reduction: repeatedly swallow
+  the smallest-area plan into a surviving plan that ε-covers every cell
+  it owns, mirroring the plan-diagram-reduction semantics.
+* :meth:`PlanDiagram.render` — a fixed-width ASCII map of a 2-D
+  diagram, one letter per grid cell, for inspection in terminals and
+  docstrings (the textual analogue of the paper's Figure 3/6/8 plots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from string import ascii_uppercase, ascii_lowercase
+
+from repro.core.parameter_space import GridIndex, ParameterSpace
+from repro.query.cost import PlanCostModel
+from repro.query.optimizer import PointOptimizer
+from repro.query.plans import LogicalPlan
+
+__all__ = ["PlanDiagram", "compute_plan_diagram"]
+
+#: Cell glyphs for rendering: 52 distinct letters, then '#'.
+_GLYPHS = ascii_uppercase + ascii_lowercase
+
+
+@dataclass(frozen=True)
+class PlanDiagram:
+    """Which plan is optimal at each grid cell, with its cost there."""
+
+    space: ParameterSpace
+    assignment: dict[GridIndex, LogicalPlan]
+    optimal_costs: dict[GridIndex, float]
+    cost_model: PlanCostModel
+
+    @property
+    def plans(self) -> tuple[LogicalPlan, ...]:
+        """Distinct plans of the diagram, largest region first."""
+        areas: dict[LogicalPlan, int] = {}
+        for plan in self.assignment.values():
+            areas[plan] = areas.get(plan, 0) + 1
+        return tuple(
+            sorted(areas, key=lambda plan: (-areas[plan], plan.order))
+        )
+
+    @property
+    def cardinality(self) -> int:
+        """Number of distinct optimal plans in the space."""
+        return len(set(self.assignment.values()))
+
+    def area_of(self, plan: LogicalPlan) -> float:
+        """Fraction of grid cells where ``plan`` is optimal."""
+        owned = sum(1 for p in self.assignment.values() if p == plan)
+        return owned / self.space.n_points
+
+    def reduce(self, epsilon: float) -> "PlanDiagram":
+        """Greedy ε-reduction of the diagram.
+
+        Repeatedly retire the smallest-area plan whose every cell can
+        be served by some single surviving plan within ``(1 + ε)`` of
+        the optimal cost there; the swallowing plan takes over the
+        cells.  This is the plan-diagram-reduction operation the paper
+        contrasts ERP against: it needs the *full* diagram up front,
+        which is exactly the cost ERP avoids.
+        """
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        assignment = dict(self.assignment)
+        threshold = 1.0 + epsilon
+
+        def cells_of(plan: LogicalPlan) -> list[GridIndex]:
+            return [idx for idx, p in assignment.items() if p == plan]
+
+        changed = True
+        while changed:
+            changed = False
+            survivors = sorted(
+                set(assignment.values()),
+                key=lambda plan: (
+                    sum(1 for p in assignment.values() if p == plan),
+                    plan.order,
+                ),
+            )
+            for victim in survivors:
+                victim_cells = cells_of(victim)
+                for heir in survivors:
+                    if heir == victim:
+                        continue
+                    fits = all(
+                        self.cost_model.plan_cost(heir, self.space.point_at(idx))
+                        <= threshold * self.optimal_costs[idx] * (1 + 1e-12)
+                        for idx in victim_cells
+                    )
+                    if fits:
+                        for idx in victim_cells:
+                            assignment[idx] = heir
+                        changed = True
+                        break
+                if changed:
+                    break
+        return PlanDiagram(self.space, assignment, dict(self.optimal_costs), self.cost_model)
+
+    def render(self, *, legend: bool = True) -> str:
+        """ASCII map of a 2-D diagram (first dim = rows, second = columns).
+
+        Raises for spaces that are not 2-D — higher-dimensional
+        diagrams have no faithful flat rendering.
+        """
+        if self.space.n_dims != 2:
+            raise ValueError(
+                f"render() supports 2-D spaces only, got {self.space.n_dims}-D"
+            )
+        glyph_of: dict[LogicalPlan, str] = {}
+        for i, plan in enumerate(self.plans):
+            glyph_of[plan] = _GLYPHS[i] if i < len(_GLYPHS) else "#"
+        rows_steps, cols_steps = self.space.shape
+        lines = []
+        # Render with the second dimension on x and the first on y,
+        # origin (lo, lo) at the bottom-left like the paper's figures.
+        for row in reversed(range(rows_steps)):
+            line = "".join(
+                glyph_of[self.assignment[(row, col)]] for col in range(cols_steps)
+            )
+            lines.append(line)
+        if legend:
+            lines.append("")
+            for plan in self.plans:
+                lines.append(
+                    f"{glyph_of[plan]} = {plan.label}  "
+                    f"(area {self.area_of(plan):.1%})"
+                )
+        return "\n".join(lines)
+
+
+def compute_plan_diagram(
+    space: ParameterSpace, optimizer: PointOptimizer
+) -> PlanDiagram:
+    """Exact plan diagram: one optimizer call per grid cell.
+
+    This is the §7 baseline artifact — "it would be extremely expensive
+    to compute such diagram" is the paper's motivation for ERP — so use
+    it for analysis on small spaces, not inside the compile path.
+    """
+    assignment: dict[GridIndex, LogicalPlan] = {}
+    optimal_costs: dict[GridIndex, float] = {}
+    for index in space.grid_indices():
+        point = space.point_at(index)
+        plan = optimizer.optimize(point)
+        assignment[index] = plan
+        optimal_costs[index] = optimizer.plan_cost(plan, point)
+    return PlanDiagram(space, assignment, optimal_costs, optimizer.cost_model)

@@ -1,0 +1,141 @@
+"""LLF placement and the GreedyPhy algorithm (§5.2, Algorithm 4).
+
+``largest_load_first`` is the paper's LLF — the Longest Processing Time
+makespan heuristic: operators sorted by load descending, each assigned
+to the currently least-loaded machine.  It runs in O(m log m) and is
+the feasibility probe inside GreedyPhy.
+
+:func:`greedy_phy` builds the synthetic max-load plan ``lp_max`` over
+the current logical solution, tries LLF, and on failure drops the
+least-weighted logical plan (ties broken toward the plan contributing
+the most max-load operators, the paper's ``getMinWeightPlanWithMaxOp``)
+until LLF succeeds or the solution is empty.  Polynomial overall —
+at most ``|LP|`` LLF rounds.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Mapping
+
+from repro.core.physical import (
+    Cluster,
+    PhysicalPlan,
+    PhysicalPlanResult,
+    PlanLoadTable,
+)
+
+__all__ = ["largest_load_first", "greedy_phy"]
+
+
+def largest_load_first(
+    loads: Mapping[int, float], cluster: Cluster
+) -> PhysicalPlan | None:
+    """LLF/LPT placement of operator loads onto cluster nodes.
+
+    Returns a :class:`PhysicalPlan` when every node ends within its
+    capacity, else ``None``.  Heterogeneous clusters are handled by
+    assigning each operator to the node with the most *remaining*
+    capacity.  Deterministic: load ties break on operator id, node ties
+    on node index.
+    """
+    ordered = sorted(loads.items(), key=lambda item: (-item[1], item[0]))
+    node_loads = [0.0] * cluster.n_nodes
+    assignment: list[set[int]] = [set() for _ in range(cluster.n_nodes)]
+    for op_id, load in ordered:
+        node = max(
+            range(cluster.n_nodes),
+            key=lambda i: (cluster.capacities[i] - node_loads[i], -i),
+        )
+        assignment[node].add(op_id)
+        node_loads[node] += load
+    for i in range(cluster.n_nodes):
+        if node_loads[i] > cluster.capacities[i] * (1 + 1e-12):
+            return None
+    return PhysicalPlan(tuple(frozenset(ops) for ops in assignment))
+
+
+def _min_weight_plan_index(
+    table: PlanLoadTable, mask: int, *, policy: str = "min-weight-max-ops"
+) -> int:
+    """Index of the plan to drop under the given policy.
+
+    ``"min-weight-max-ops"`` is Algorithm 4's ``getMinWeightPlanWithMaxOp``:
+    among the still-kept plans pick the minimum-weight one; on weight
+    ties prefer the plan that *dominates* the max-load table on the most
+    operators (dropping it relieves the most load), then the
+    lexicographically larger plan.  ``"min-weight"`` ignores load
+    domination entirely — the naive variant the ablation bench contrasts.
+    """
+    max_loads = table.max_loads(mask)
+    best_index = -1
+    best_key: tuple[float, int, tuple[int, ...]] | None = None
+    for i in range(table.n_plans):
+        if not mask >> i & 1:
+            continue
+        weight = table.score(1 << i)
+        if policy == "min-weight-max-ops":
+            dominated = sum(
+                1
+                for op_id, peak in max_loads.items()
+                if table.load(i, op_id) >= peak * (1 - 1e-12)
+            )
+        else:
+            dominated = 0
+        key = (weight, -dominated, tuple(-o for o in table.plans[i].order))
+        if best_key is None or key < best_key:
+            best_key = key
+            best_index = i
+    return best_index
+
+
+def greedy_phy(
+    table: PlanLoadTable,
+    cluster: Cluster,
+    *,
+    drop_policy: str = "min-weight-max-ops",
+) -> PhysicalPlanResult:
+    """GreedyPhy (Algorithm 4): max-weight supported subset via LLF.
+
+    Iteratively: build ``lp_max`` over the kept plans, place it with
+    LLF; on failure drop a plan chosen by ``drop_policy``
+    (``"min-weight-max-ops"``, the paper's heuristic, or the naive
+    ``"min-weight"``) and retry.  Returns an infeasible result
+    (``physical_plan=None``) when no single plan can be supported by
+    the cluster.
+    """
+    if drop_policy not in ("min-weight-max-ops", "min-weight"):
+        raise ValueError(
+            f"unknown drop_policy {drop_policy!r}; use "
+            "'min-weight-max-ops' or 'min-weight'"
+        )
+    start = time.perf_counter()
+    mask = table.full_mask
+    rounds = 0
+    while mask:
+        rounds += 1
+        loads = table.max_loads(mask)
+        plan = largest_load_first(loads, cluster)
+        if plan is not None:
+            # LLF placed lp_max, so every kept plan fits on every node;
+            # report the actual support mask (it may even exceed ``mask``
+            # if a dropped plan happens to fit the final layout too).
+            supported = plan.support_mask(table, cluster)
+            return PhysicalPlanResult(
+                algorithm="GreedyPhy",
+                physical_plan=plan,
+                supported_plans=table.plans_in_mask(supported),
+                score=table.score(supported),
+                compile_seconds=time.perf_counter() - start,
+                nodes_explored=rounds,
+            )
+        drop = _min_weight_plan_index(table, mask, policy=drop_policy)
+        mask &= ~(1 << drop)
+    return PhysicalPlanResult(
+        algorithm="GreedyPhy",
+        physical_plan=None,
+        supported_plans=(),
+        score=0.0,
+        compile_seconds=time.perf_counter() - start,
+        nodes_explored=rounds,
+    )

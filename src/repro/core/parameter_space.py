@@ -1,0 +1,311 @@
+"""Multi-dimensional parameter space (§2.2, Algorithm 1).
+
+The parameter space ``S`` models uncertainty in optimizer statistics:
+each *dimension* is one uncertain statistic (an operator selectivity or
+a stream input rate) stretched around its point estimate ``e`` to
+``[e·(1 − Δ·u), e·(1 + Δ·u)]`` with unit step Δ = 0.1 and integer
+uncertainty level ``u`` — exactly Algorithm 1.
+
+Each dimension is discretized (§2.2 "each dimension of the parameter
+space is discretized"); the grid resolution scales with the uncertainty
+level, so higher uncertainty means a larger space to search — the
+mechanism behind Figure 10's growth of optimizer calls with ``U``.
+
+Index-space conventions: a grid point is a tuple of integer indices
+(one per dimension); a :class:`Region` is an axis-aligned box of such
+indices with inclusive bounds.  ``pnt_lo``/``pnt_hi`` are the region's
+bottom-left and top-right corners as real-valued :class:`StatPoint`\\ s,
+matching the paper's ``pntLo``/``pntHi``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product as iter_product
+from typing import Iterator, Mapping, Sequence
+
+from repro.query.statistics import StatisticsEstimate, StatPoint
+from repro.util.validation import ensure_non_empty, ensure_positive
+
+__all__ = ["Dimension", "ParameterSpace", "Region", "GridIndex"]
+
+#: A grid point: one integer index per dimension.
+GridIndex = tuple[int, ...]
+
+#: Default grid points per uncertainty level (steps = level·this + 1),
+#: giving 2U+1 points per dimension at the default of 2.
+DEFAULT_POINTS_PER_LEVEL = 2
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One discretized axis of the parameter space.
+
+    ``lo``/``hi`` are the Algorithm 1 bounds; ``steps`` the number of
+    grid points (≥ 1).  ``steps == 1`` models an exact parameter pinned
+    at ``lo == hi``.
+    """
+
+    name: str
+    lo: float
+    hi: float
+    steps: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("dimension name must not be empty")
+        if self.hi < self.lo:
+            raise ValueError(
+                f"dimension {self.name!r} has hi={self.hi} < lo={self.lo}"
+            )
+        if self.steps < 1:
+            raise ValueError(f"dimension {self.name!r} needs >= 1 step")
+        if self.steps == 1 and self.hi != self.lo:
+            raise ValueError(
+                f"dimension {self.name!r} with one step must have lo == hi"
+            )
+
+    @property
+    def width(self) -> float:
+        """Extent of the dimension in parameter units."""
+        return self.hi - self.lo
+
+    @property
+    def cell_width(self) -> float:
+        """Distance between adjacent grid values (0 for a pinned dim)."""
+        if self.steps == 1:
+            return 0.0
+        return self.width / (self.steps - 1)
+
+    def value(self, index: int) -> float:
+        """Real value of grid index ``index`` along this dimension."""
+        if not 0 <= index < self.steps:
+            raise IndexError(
+                f"index {index} out of range for dimension {self.name!r} "
+                f"with {self.steps} steps"
+            )
+        if self.steps == 1:
+            return self.lo
+        return self.lo + index * self.cell_width
+
+    def nearest_index(self, value: float) -> int:
+        """Grid index whose value is nearest to ``value`` (clamped)."""
+        if self.steps == 1 or self.cell_width == 0:
+            return 0
+        raw = round((value - self.lo) / self.cell_width)
+        return max(0, min(self.steps - 1, int(raw)))
+
+
+class ParameterSpace:
+    """A discretized hyper-rectangle of statistics values.
+
+    Build one directly from :class:`Dimension` objects or — the common
+    path — from a :class:`StatisticsEstimate` via :meth:`from_estimates`
+    (Algorithm 1 plus level-scaled discretization).
+    """
+
+    def __init__(self, dimensions: Sequence[Dimension]) -> None:
+        ensure_non_empty(dimensions, "dimensions")
+        names = [d.name for d in dimensions]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate dimension names: {names}")
+        self._dimensions = tuple(dimensions)
+
+    @classmethod
+    def from_estimates(
+        cls,
+        estimate: StatisticsEstimate,
+        *,
+        points_per_level: int = DEFAULT_POINTS_PER_LEVEL,
+        min_steps: int = 2,
+    ) -> "ParameterSpace":
+        """Algorithm 1: stretch each uncertain estimate into a dimension.
+
+        Each uncertain parameter with level ``u`` becomes a dimension
+        over ``[e·(1 − 0.1u), e·(1 + 0.1u)]`` discretized into
+        ``max(min_steps, points_per_level·u + 1)`` grid points.  Exact
+        parameters (level 0) are excluded — they stay at their point
+        estimate and never vary.
+        """
+        ensure_positive(points_per_level, "points_per_level")
+        names = estimate.uncertain_parameters()
+        ensure_non_empty(names, "uncertain parameters")
+        dimensions = []
+        for name in names:
+            lo, hi = estimate.bounds(name)
+            level = estimate.uncertainty[name]
+            steps = max(min_steps, points_per_level * level + 1)
+            dimensions.append(Dimension(name, lo, hi, steps))
+        return cls(dimensions)
+
+    @property
+    def dimensions(self) -> tuple[Dimension, ...]:
+        """The space's dimensions, in fixed order."""
+        return self._dimensions
+
+    @property
+    def n_dims(self) -> int:
+        """Dimensionality ``d`` of the space."""
+        return len(self._dimensions)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Dimension (parameter) names, in dimension order."""
+        return tuple(d.name for d in self._dimensions)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Grid points per dimension."""
+        return tuple(d.steps for d in self._dimensions)
+
+    @property
+    def n_points(self) -> int:
+        """Total number of grid points in the space."""
+        total = 1
+        for d in self._dimensions:
+            total *= d.steps
+        return total
+
+    def point_at(self, index: GridIndex) -> StatPoint:
+        """The :class:`StatPoint` at grid index ``index``."""
+        if len(index) != self.n_dims:
+            raise ValueError(
+                f"index has {len(index)} components, space has {self.n_dims} dims"
+            )
+        return StatPoint(
+            {d.name: d.value(i) for d, i in zip(self._dimensions, index)}
+        )
+
+    def nearest_index(self, point: Mapping[str, float]) -> GridIndex:
+        """Grid index nearest to a real-valued point (clamped per dim)."""
+        return tuple(
+            d.nearest_index(float(point[d.name])) for d in self._dimensions
+        )
+
+    def grid_indices(self) -> Iterator[GridIndex]:
+        """Iterate over every grid index in row-major order."""
+        return iter_product(*(range(d.steps) for d in self._dimensions))
+
+    def grid_points(self) -> Iterator[StatPoint]:
+        """Iterate over every grid point as a :class:`StatPoint`."""
+        for index in self.grid_indices():
+            yield self.point_at(index)
+
+    def full_region(self) -> "Region":
+        """The region spanning the entire space."""
+        return Region(
+            self, (0,) * self.n_dims, tuple(d.steps - 1 for d in self._dimensions)
+        )
+
+    def __repr__(self) -> str:
+        dims = ", ".join(
+            f"{d.name}[{d.lo:.4g}..{d.hi:.4g}/{d.steps}]" for d in self._dimensions
+        )
+        return f"ParameterSpace({dims})"
+
+
+@dataclass(frozen=True)
+class Region:
+    """An axis-aligned box of grid indices with inclusive bounds.
+
+    ``lo``/``hi`` are index tuples with ``lo[i] <= hi[i]``.  The paper's
+    corner points ``pntLo``/``pntHi`` are exposed as real-valued
+    :class:`StatPoint` properties.
+    """
+
+    space: ParameterSpace
+    lo: GridIndex
+    hi: GridIndex
+
+    def __post_init__(self) -> None:
+        if len(self.lo) != self.space.n_dims or len(self.hi) != self.space.n_dims:
+            raise ValueError("region bounds must match space dimensionality")
+        for d, (a, b) in enumerate(zip(self.lo, self.hi)):
+            steps = self.space.dimensions[d].steps
+            if not (0 <= a <= b <= steps - 1):
+                raise ValueError(
+                    f"invalid bounds [{a}, {b}] on dimension "
+                    f"{self.space.names[d]!r} with {steps} steps"
+                )
+
+    @property
+    def pnt_lo(self) -> StatPoint:
+        """Bottom-left corner (the paper's ``pntLo``)."""
+        return self.space.point_at(self.lo)
+
+    @property
+    def pnt_hi(self) -> StatPoint:
+        """Top-right corner (the paper's ``pntHi``)."""
+        return self.space.point_at(self.hi)
+
+    @property
+    def n_points(self) -> int:
+        """Number of grid points inside the region."""
+        total = 1
+        for a, b in zip(self.lo, self.hi):
+            total *= b - a + 1
+        return total
+
+    @property
+    def area_fraction(self) -> float:
+        """Region size as a fraction of the whole space's grid points."""
+        return self.n_points / self.space.n_points
+
+    @property
+    def is_cell(self) -> bool:
+        """True when the region is a single grid point."""
+        return self.lo == self.hi
+
+    def contains(self, index: GridIndex) -> bool:
+        """True when grid index ``index`` falls inside the region."""
+        return all(a <= i <= b for i, a, b in zip(index, self.lo, self.hi))
+
+    def indices(self) -> Iterator[GridIndex]:
+        """Iterate over the region's grid indices in row-major order."""
+        return iter_product(*(range(a, b + 1) for a, b in zip(self.lo, self.hi)))
+
+    def interior_split_candidates(self, dim: int) -> range:
+        """Indices along ``dim`` usable as split points.
+
+        Splitting at ``s`` produces lower part ``[lo..s]`` and upper
+        part ``[s+1..hi]``; both are non-empty for ``s in [lo, hi-1]``.
+        """
+        return range(self.lo[dim], self.hi[dim])
+
+    def can_split(self) -> bool:
+        """True when at least one dimension has >= 2 grid points."""
+        return any(b > a for a, b in zip(self.lo, self.hi))
+
+    def split_at(self, point: GridIndex) -> list["Region"]:
+        """Split into up to ``2^d`` sub-regions at ``point``.
+
+        Along each dimension with ``lo[i] <= point[i] < hi[i]`` the
+        region divides into ``[lo..point]`` and ``[point+1..hi]``;
+        dimensions where the point is at/above ``hi`` or the region is
+        flat contribute a single interval.  Sub-regions tile the parent
+        exactly (disjoint, union-complete), which the tests verify.
+        """
+        if not self.contains(point):
+            raise ValueError(f"split point {point} outside region [{self.lo}, {self.hi}]")
+        per_dim: list[list[tuple[int, int]]] = []
+        for a, b, p in zip(self.lo, self.hi, point):
+            if a <= p < b:
+                per_dim.append([(a, p), (p + 1, b)])
+            else:
+                per_dim.append([(a, b)])
+        pieces = [
+            Region(
+                self.space,
+                tuple(interval[0] for interval in combo),
+                tuple(interval[1] for interval in combo),
+            )
+            for combo in iter_product(*per_dim)
+        ]
+        if len(pieces) == 1:
+            raise ValueError(
+                f"split point {point} does not divide region [{self.lo}, {self.hi}]"
+            )
+        return pieces
+
+    def __repr__(self) -> str:
+        return f"Region(lo={self.lo}, hi={self.hi}, points={self.n_points})"

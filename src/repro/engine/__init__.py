@@ -1,0 +1,37 @@
+"""Discrete-event simulated distributed stream processing substrate.
+
+Stands in for the paper's D-CAPE testbed (§6): a shared-nothing cluster
+of capacity-limited nodes executing pipelined query operators over
+batched stream tuples, with queueing, operator migration, and a
+statistics monitor.  Simulated time is in seconds; all randomness is
+seeded, so runs are exactly reproducible.
+
+* :mod:`repro.engine.events` — the event loop.
+* :mod:`repro.engine.batches` — tuple batches (the paper's "rusters").
+* :mod:`repro.engine.node` — single-server simulated machines.
+* :mod:`repro.engine.monitor` — the runtime statistics monitor.
+* :mod:`repro.engine.metrics` — per-run measurement collection.
+* :mod:`repro.engine.system` — the simulator wiring it all together.
+"""
+
+from repro.engine.batches import Batch
+from repro.engine.events import EventLoop
+from repro.engine.metrics import SimulationReport
+from repro.engine.monitor import StatisticsMonitor
+from repro.engine.network import NetworkModel
+from repro.engine.node import SimNode
+from repro.engine.system import RoutingDecision, StreamSimulator
+from repro.engine.trace import SimulationTrace, TraceEvent
+
+__all__ = [
+    "Batch",
+    "EventLoop",
+    "NetworkModel",
+    "RoutingDecision",
+    "SimNode",
+    "SimulationReport",
+    "SimulationTrace",
+    "StatisticsMonitor",
+    "StreamSimulator",
+    "TraceEvent",
+]

@@ -1,0 +1,71 @@
+"""Tuple batches — the simulator's unit of work.
+
+The paper's executor groups tuples into "rusters" (Table 2: minimum
+ruster size 100 tuples) and assigns a logical plan per batch, so the
+simulator moves *batches* rather than individual tuples.  A batch's
+``size`` is a float: selectivities thin (or joins fan out) the expected
+tuple count as it traverses its plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.query.plans import LogicalPlan
+
+__all__ = ["Batch"]
+
+
+@dataclass
+class Batch:
+    """A group of tuples flowing through one logical plan.
+
+    Attributes
+    ----------
+    batch_id:
+        Monotone id, assigned at the source.
+    created_at:
+        Simulated source timestamp (latency is measured from here).
+    initial_size:
+        Tuples in the batch when it entered the system.
+    size:
+        Current expected tuple count (mutated by operator selectivity).
+    plan:
+        The logical plan routing this batch (set by the strategy).
+    stage:
+        Index into ``plan.order`` of the next operator to apply.
+    """
+
+    batch_id: int
+    created_at: float
+    initial_size: float
+    size: float = field(default=0.0)
+    plan: LogicalPlan | None = None
+    stage: int = 0
+
+    def __post_init__(self) -> None:
+        if self.initial_size <= 0:
+            raise ValueError(f"batch size must be > 0, got {self.initial_size}")
+        if self.size == 0.0:
+            self.size = self.initial_size
+
+    @property
+    def next_op(self) -> int | None:
+        """Operator id of the next stage, or ``None`` when finished."""
+        if self.plan is None:
+            raise RuntimeError(f"batch {self.batch_id} has no plan assigned")
+        if self.stage >= len(self.plan.order):
+            return None
+        return self.plan.order[self.stage]
+
+    def advance(self, selectivity: float) -> None:
+        """Apply one operator: thin the batch and move to the next stage."""
+        if selectivity < 0:
+            raise ValueError(f"selectivity must be >= 0, got {selectivity}")
+        self.size *= selectivity
+        self.stage += 1
+
+    @property
+    def done(self) -> bool:
+        """True once every operator of the plan has been applied."""
+        return self.plan is not None and self.stage >= len(self.plan.order)

@@ -1,0 +1,108 @@
+"""Runtime statistics monitor (§3 "Statistic monitor").
+
+Each machine in the paper's DSPS periodically samples operator
+selectivities and stream rates and ships them to the executor.  The
+simulated monitor samples the workload's ground-truth statistics with
+multiplicative observation noise and smooths them with an exponential
+moving average — so strategies see realistic, slightly stale estimates
+rather than the simulator's exact internals.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.query.model import Query
+from repro.query.statistics import StatPoint, rate_param
+from repro.util.rng import derive_rng
+from repro.util.validation import ensure_in_range, ensure_positive
+
+__all__ = ["GroundTruth", "StatisticsMonitor"]
+
+
+class GroundTruth(Protocol):
+    """What the monitor observes: time-varying true statistics."""
+
+    def rate(self, time: float) -> float:
+        """True driving input rate (tuples/second) at ``time``."""
+        ...
+
+    def selectivity(self, op_id: int, time: float) -> float:
+        """True selectivity of operator ``op_id`` at ``time``."""
+        ...
+
+
+class StatisticsMonitor:
+    """Noisy, smoothed view of the workload's true statistics.
+
+    Parameters
+    ----------
+    query:
+        Supplies the operator ids to monitor.
+    truth:
+        The ground-truth statistics source (normally the workload).
+    noise:
+        Multiplicative observation noise: each sample is scaled by
+        ``1 + Normal(0, noise)``.  Zero for an oracle monitor.
+    smoothing:
+        EWMA coefficient on the *new* sample (1.0 = no memory).
+    seed:
+        Noise reproducibility.
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        truth: GroundTruth,
+        *,
+        noise: float = 0.05,
+        smoothing: float = 0.5,
+        seed: int | np.random.Generator | None = 11,
+    ) -> None:
+        if noise < 0:
+            raise ValueError(f"noise must be >= 0, got {noise}")
+        ensure_in_range(smoothing, "smoothing", 0.0, 1.0, inclusive=True)
+        ensure_positive(smoothing, "smoothing")
+        self._query = query
+        self._truth = truth
+        self._noise = noise
+        self._smoothing = smoothing
+        self._rng = derive_rng(seed)
+        self._estimates: dict[str, float] = {}
+        self._samples = 0
+
+    @property
+    def samples_taken(self) -> int:
+        """Number of sampling rounds performed."""
+        return self._samples
+
+    def _observe(self, true_value: float) -> float:
+        if self._noise == 0:
+            return true_value
+        factor = 1.0 + self._rng.normal(0.0, self._noise)
+        return max(true_value * factor, 1e-9)
+
+    def sample(self, time: float) -> StatPoint:
+        """Take one sampling round at ``time`` and return the estimates."""
+        observations = {rate_param(): self._observe(self._truth.rate(time))}
+        for op in self._query.operators:
+            observations[op.selectivity_param] = self._observe(
+                self._truth.selectivity(op.op_id, time)
+            )
+        alpha = self._smoothing
+        for name, value in observations.items():
+            previous = self._estimates.get(name)
+            if previous is None:
+                self._estimates[name] = value
+            else:
+                self._estimates[name] = alpha * value + (1 - alpha) * previous
+        self._samples += 1
+        return self.current()
+
+    def current(self) -> StatPoint:
+        """Latest smoothed estimates; raises before the first sample."""
+        if not self._estimates:
+            raise RuntimeError("monitor has no samples yet; call sample() first")
+        return StatPoint(self._estimates)

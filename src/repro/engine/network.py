@@ -1,0 +1,64 @@
+"""Inter-node network model.
+
+The paper assumes a "high bandwidth network" where bandwidth "is not
+our key bottleneck" (§2.1) — the default simulator therefore charges
+nothing for data movement.  Real deployments still pay *something* per
+hop, and operator placement changes how many hops a pipeline crosses,
+so :class:`NetworkModel` lets experiments quantify that: when a batch's
+next operator lives on a different node, its arrival there is delayed
+by a fixed per-transfer latency plus a size-proportional serialization
+term.  The network-sensitivity ablation bench sweeps these knobs to
+confirm the paper's assumption holds in the simulated regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import ensure_positive
+
+__all__ = ["NetworkModel"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Per-transfer cost of shipping a batch between nodes.
+
+    ``transfer_seconds(n)`` = ``latency_seconds`` +
+    ``n · bytes_per_tuple / bandwidth_bytes_per_second``.
+
+    Defaults model a commodity datacenter link: 0.5 ms latency, 64-byte
+    tuples, 1 Gbit/s effective per-flow bandwidth.
+    """
+
+    latency_seconds: float = 0.0005
+    bytes_per_tuple: float = 64.0
+    bandwidth_bytes_per_second: float = 125_000_000.0  # 1 Gbit/s
+
+    def __post_init__(self) -> None:
+        if self.latency_seconds < 0:
+            raise ValueError(
+                f"latency_seconds must be >= 0, got {self.latency_seconds}"
+            )
+        ensure_positive(self.bytes_per_tuple, "bytes_per_tuple")
+        ensure_positive(
+            self.bandwidth_bytes_per_second, "bandwidth_bytes_per_second"
+        )
+
+    def transfer_seconds(self, tuples: float) -> float:
+        """Seconds to move ``tuples`` tuples across one link."""
+        if tuples < 0:
+            raise ValueError(f"tuples must be >= 0, got {tuples}")
+        return (
+            self.latency_seconds
+            + tuples * self.bytes_per_tuple / self.bandwidth_bytes_per_second
+        )
+
+    @classmethod
+    def zero(cls) -> "NetworkModel":
+        """A free network (the paper's §2.1 assumption, made explicit)."""
+        return cls(
+            latency_seconds=0.0,
+            bytes_per_tuple=1e-12,
+            bandwidth_bytes_per_second=1e18,
+        )

@@ -1,0 +1,93 @@
+"""Simulated cluster machines.
+
+Each node is a single-server FIFO queue with a CPU capacity in cost
+units per second: a job of ``work`` cost units takes ``work/capacity``
+seconds of service.  The node keeps an ``available_at`` horizon — jobs
+start at the max of their arrival, the node's horizon, and any
+operator-level suspension (used by DYN migrations) — and accumulates
+busy time for utilization accounting.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import ensure_positive
+
+__all__ = ["SimNode"]
+
+
+class SimNode:
+    """One machine: capacity, FIFO service horizon, busy-time ledger."""
+
+    def __init__(self, node_id: int, capacity: float) -> None:
+        ensure_positive(capacity, f"capacity of node {node_id}")
+        self._node_id = node_id
+        self._capacity = capacity
+        self._available_at = 0.0
+        self._busy_seconds = 0.0
+        self._jobs = 0
+
+    @property
+    def node_id(self) -> int:
+        """Index of this node in the cluster."""
+        return self._node_id
+
+    @property
+    def capacity(self) -> float:
+        """Processing capacity in cost units per second."""
+        return self._capacity
+
+    @property
+    def available_at(self) -> float:
+        """Earliest time a newly arriving job could start service."""
+        return self._available_at
+
+    @property
+    def busy_seconds(self) -> float:
+        """Cumulative service time scheduled on this node."""
+        return self._busy_seconds
+
+    @property
+    def jobs_served(self) -> int:
+        """Number of jobs scheduled on this node."""
+        return self._jobs
+
+    def service_seconds(self, work: float) -> float:
+        """Seconds of service a job of ``work`` cost units needs."""
+        if work < 0:
+            raise ValueError(f"work must be >= 0, got {work}")
+        return work / self._capacity
+
+    def submit(self, arrival: float, work: float, not_before: float = 0.0) -> float:
+        """Enqueue a job; returns its completion time.
+
+        The job starts at ``max(arrival, available_at, not_before)``
+        (``not_before`` models operator suspension during migration) and
+        occupies the server for ``work/capacity`` seconds.
+        """
+        start = max(arrival, self._available_at, not_before)
+        service = self.service_seconds(work)
+        self._available_at = start + service
+        self._busy_seconds += service
+        self._jobs += 1
+        return self._available_at
+
+    def utilization(self, horizon: float) -> float:
+        """Busy fraction over ``[0, horizon]`` (may exceed 1 under backlog).
+
+        A value above 1.0 means the node has scheduled more service time
+        than wall-clock elapsed — an unbounded queue, the §6.5 overload
+        signature.
+        """
+        ensure_positive(horizon, "horizon")
+        return self._busy_seconds / horizon
+
+    def suspend_until(self, time: float) -> None:
+        """Block the server until ``time`` (migration stall on this node)."""
+        if time > self._available_at:
+            self._available_at = time
+
+    def __repr__(self) -> str:
+        return (
+            f"SimNode(id={self._node_id}, capacity={self._capacity:.3g}, "
+            f"busy={self._busy_seconds:.3f}s, jobs={self._jobs})"
+        )

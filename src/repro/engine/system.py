@@ -1,0 +1,375 @@
+"""The distributed stream processing simulator.
+
+Wires sources, nodes, the monitor, and a load-distribution strategy
+into one discrete-event run:
+
+* A Poisson source emits tuple batches at the workload's (time-varying)
+  rate; each batch is routed to a logical plan by the strategy — for
+  RLD that is the online classifier, for ROD/DYN the single compiled
+  plan.
+* Each plan stage is a job on the node hosting that operator under the
+  *current* placement; nodes are single-server FIFO queues, so overload
+  shows up as queueing latency exactly as in a real engine.
+* Strategies get a periodic tick and may call :meth:`StreamSimulator.
+  migrate` (the DYN baseline does); migration suspends the moved
+  operator for a state-proportional pause.
+
+Everything observable — batch latencies, produced-tuple timeline,
+overheads, migrations — lands in a :class:`SimulationReport`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, NamedTuple, Protocol
+
+import numpy as np
+
+from repro.core.physical import Cluster, PhysicalPlan
+from repro.engine.batches import Batch
+from repro.engine.events import EventLoop
+from repro.engine.metrics import SimulationReport
+from repro.engine.monitor import GroundTruth, StatisticsMonitor
+from repro.engine.network import NetworkModel
+from repro.engine.node import SimNode
+from repro.engine.trace import SimulationTrace, TraceEvent
+from repro.query.model import Query
+from repro.query.plans import LogicalPlan
+from repro.query.statistics import StatPoint
+from repro.util.rng import derive_rng
+from repro.util.validation import ensure_positive
+
+__all__ = ["RoutingDecision", "LoadDistributionStrategy", "StreamSimulator"]
+
+
+class RoutingDecision(NamedTuple):
+    """A strategy's per-batch answer: the plan plus routing overhead."""
+
+    plan: LogicalPlan
+    overhead_seconds: float = 0.0
+
+
+class LoadDistributionStrategy(Protocol):
+    """What the simulator needs from RLD / ROD / DYN (see repro.runtime)."""
+
+    name: str
+
+    @property
+    def placement(self) -> PhysicalPlan:
+        """Initial operator→node assignment."""
+        ...
+
+    def route(self, time: float, stats: StatPoint) -> RoutingDecision:
+        """Pick the logical plan for a batch arriving at ``time``."""
+        ...
+
+    def on_tick(self, simulator: "StreamSimulator", time: float) -> None:
+        """Periodic hook (DYN uses it to rebalance via migration)."""
+        ...
+
+
+class StreamSimulator:
+    """One simulated run of a query under a load-distribution strategy.
+
+    Parameters
+    ----------
+    query, cluster:
+        The workload's query and the machines executing it.
+    strategy:
+        RLD / ROD / DYN (anything satisfying the strategy protocol).
+    workload:
+        Ground-truth statistics source: ``rate(t)`` and
+        ``selectivity(op_id, t)``.
+    batch_size:
+        Tuples per ruster (Table 2: 100).
+    monitor:
+        Statistics monitor; defaults to a lightly noisy one.
+    monitor_period / tick_period:
+        Sampling and strategy-tick intervals in seconds.
+    migration_seconds_per_state:
+        Pause per unit of operator state when migrating (further
+        scaled by the current rate relative to the estimate).
+    seed:
+        Reproducibility of arrivals and monitor noise.
+    network:
+        Optional :class:`~repro.engine.network.NetworkModel`; when set,
+        a batch moving between operators on *different* nodes is
+        delayed by the model's transfer time (default: free network,
+        the paper's §2.1 assumption).
+    trace:
+        Optional :class:`~repro.engine.trace.SimulationTrace` capturing
+        a per-event audit trail (arrivals, stages, completions,
+        migrations); leave ``None`` for long runs.
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        cluster: Cluster,
+        strategy: LoadDistributionStrategy,
+        workload: GroundTruth,
+        *,
+        batch_size: float = 100.0,
+        monitor: StatisticsMonitor | None = None,
+        monitor_period: float = 1.0,
+        tick_period: float = 5.0,
+        migration_seconds_per_state: float = 1.0,
+        network: NetworkModel | None = None,
+        seed: int | np.random.Generator | None = 17,
+        trace: SimulationTrace | None = None,
+    ) -> None:
+        ensure_positive(batch_size, "batch_size")
+        ensure_positive(monitor_period, "monitor_period")
+        ensure_positive(tick_period, "tick_period")
+        self._query = query
+        self._cluster = cluster
+        self._strategy = strategy
+        self._workload = workload
+        self._batch_size = batch_size
+        self._monitor_period = monitor_period
+        self._tick_period = tick_period
+        self._migration_unit = migration_seconds_per_state
+        self._rng = derive_rng(seed)
+        self._monitor = monitor or StatisticsMonitor(query, workload)
+        self._trace = trace
+        self._network = network
+
+        self._nodes = [
+            SimNode(i, capacity) for i, capacity in enumerate(cluster.capacities)
+        ]
+        placement = strategy.placement
+        self._placement: dict[int, int] = {
+            op_id: placement.node_of(op_id) for op_id in query.operator_ids
+        }
+        self._op_ready_at: dict[int, float] = {
+            op_id: 0.0 for op_id in query.operator_ids
+        }
+        self._ops = {op.op_id: op for op in query.operators}
+
+        self._loop = EventLoop()
+        self._batch_nodes: dict[int, int] = {}
+        self._report: SimulationReport | None = None
+        self._next_batch_id = 0
+        self._last_plan: LogicalPlan | None = None
+        self._duration = 0.0
+
+    # ------------------------------------------------------------------
+    # Introspection for strategies (DYN reads these to rebalance)
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[SimNode]:
+        """The simulated machines."""
+        return self._nodes
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._loop.now
+
+    @property
+    def query(self) -> Query:
+        """The query under execution."""
+        return self._query
+
+    @property
+    def current_placement(self) -> Mapping[int, int]:
+        """Live operator→node mapping (mutated by migrations)."""
+        return dict(self._placement)
+
+    @property
+    def monitor(self) -> StatisticsMonitor:
+        """The statistics monitor."""
+        return self._monitor
+
+    @property
+    def report(self) -> SimulationReport:
+        """The in-progress (or final) measurement report."""
+        if self._report is None:
+            raise RuntimeError("run() has not been called yet")
+        return self._report
+
+    # ------------------------------------------------------------------
+    # Migration (the DYN baseline's lever)
+    # ------------------------------------------------------------------
+
+    def migrate(self, op_id: int, target_node: int) -> float:
+        """Move an operator to another node, paying a suspension pause.
+
+        The operator cannot serve jobs until its window state has been
+        drained and re-built on the target.  Window state grows with
+        the stream rate, so the pause is ``state_size ×
+        migration_seconds_per_state`` scaled by the current rate
+        relative to the compile-time estimate — migrating under load is
+        exactly when it hurts most (§6.5 "the state sizes of the moving
+        operators").  Returns the pause length.
+        """
+        if not 0 <= target_node < len(self._nodes):
+            raise ValueError(f"no node {target_node} in a {len(self._nodes)}-node cluster")
+        if self._placement[op_id] == target_node:
+            return 0.0
+        rate_ratio = max(
+            self._workload.rate(self._loop.now) / self._query.driving_rate, 0.1
+        )
+        pause = self._ops[op_id].state_size * self._migration_unit * rate_ratio
+        now = self._loop.now
+        self._placement[op_id] = target_node
+        self._op_ready_at[op_id] = max(self._op_ready_at[op_id], now + pause)
+        report = self.report
+        report.migrations += 1
+        report.migration_stall_seconds += pause
+        if self._trace is not None:
+            self._trace.record(
+                TraceEvent(
+                    time=now,
+                    kind="migration",
+                    op_id=op_id,
+                    node=target_node,
+                    detail=f"pause={pause:.3f}s",
+                )
+            )
+        return pause
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+
+    def _schedule_arrival(self, time: float) -> None:
+        rate = self._workload.rate(time)
+        if rate <= 0:
+            raise ValueError(f"workload rate must be > 0 (got {rate} at t={time})")
+        mean_gap = self._batch_size / rate
+        gap = float(self._rng.exponential(mean_gap))
+        next_time = time + gap
+        if next_time <= self._duration:
+            self._loop.schedule(next_time, lambda: self._on_arrival(next_time))
+
+    def _on_arrival(self, time: float) -> None:
+        self._schedule_arrival(time)
+        batch = Batch(
+            batch_id=self._next_batch_id,
+            created_at=time,
+            initial_size=self._batch_size,
+        )
+        self._next_batch_id += 1
+        report = self.report
+        report.batches_injected += 1
+        report.tuples_in += batch.initial_size
+
+        decision = self._strategy.route(time, self._monitor.current())
+        batch.plan = decision.plan
+        if self._last_plan is not None and decision.plan != self._last_plan:
+            report.plan_switches += 1
+        self._last_plan = decision.plan
+        report.overhead_seconds += decision.overhead_seconds
+        if self._trace is not None:
+            self._trace.record(
+                TraceEvent(
+                    time=time,
+                    kind="arrival",
+                    batch_id=batch.batch_id,
+                    plan_label=decision.plan.label,
+                    size=batch.size,
+                )
+            )
+        self._submit_stage(batch, time + decision.overhead_seconds)
+
+    def _submit_stage(self, batch: Batch, time: float) -> None:
+        op_id = batch.next_op
+        if op_id is None:
+            self._complete(batch, time)
+            return
+        node = self._nodes[self._placement[op_id]]
+        previous_node = self._batch_nodes.get(batch.batch_id)
+        if (
+            self._network is not None
+            and previous_node is not None
+            and previous_node != node.node_id
+        ):
+            delay = self._network.transfer_seconds(batch.size)
+            time += delay
+            self.report.network_seconds += delay
+        self._batch_nodes[batch.batch_id] = node.node_id
+        work = batch.size * self._ops[op_id].cost_per_tuple
+        self.report.processing_seconds += node.service_seconds(work)
+        done = node.submit(time, work, not_before=self._op_ready_at[op_id])
+        if self._trace is not None:
+            self._trace.record(
+                TraceEvent(
+                    time=time,
+                    kind="stage",
+                    batch_id=batch.batch_id,
+                    op_id=op_id,
+                    node=node.node_id,
+                    size=batch.size,
+                    detail=f"done={done:.3f}",
+                )
+            )
+        self._loop.schedule(done, lambda: self._finish_stage(batch))
+
+    def _finish_stage(self, batch: Batch) -> None:
+        now = self._loop.now
+        op_id = batch.next_op
+        assert op_id is not None
+        selectivity = self._workload.selectivity(op_id, now)
+        batch.advance(selectivity)
+        if batch.done:
+            self._complete(batch, now)
+        else:
+            self._submit_stage(batch, now)
+
+    def _complete(self, batch: Batch, time: float) -> None:
+        self._batch_nodes.pop(batch.batch_id, None)
+        self.report.record_batch(
+            created_at=batch.created_at,
+            completed_at=time,
+            input_tuples=batch.initial_size,
+            output_tuples=batch.size,
+        )
+        self.report.record_output(time, batch.size)
+        if self._trace is not None:
+            self._trace.record(
+                TraceEvent(
+                    time=time,
+                    kind="complete",
+                    batch_id=batch.batch_id,
+                    size=batch.size,
+                    detail=f"latency={time - batch.created_at:.3f}s",
+                )
+            )
+
+    def _on_monitor(self, time: float) -> None:
+        self._monitor.sample(time)
+        next_time = time + self._monitor_period
+        if next_time <= self._duration:
+            self._loop.schedule(next_time, lambda: self._on_monitor(next_time))
+
+    def _on_tick(self, time: float) -> None:
+        self._strategy.on_tick(self, time)
+        next_time = time + self._tick_period
+        if next_time <= self._duration:
+            self._loop.schedule(next_time, lambda: self._on_tick(next_time))
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def run(self, duration: float) -> SimulationReport:
+        """Simulate ``duration`` seconds and return the report.
+
+        Batches still in flight at the horizon are *not* counted — under
+        overload the produced-tuple timeline flattens, which is the
+        §6.5 stall signature the figures rely on.
+        """
+        ensure_positive(duration, "duration")
+        self._duration = duration
+        self._report = SimulationReport(duration=duration)
+        self._monitor.sample(0.0)
+        self._loop.schedule(self._tick_period, lambda: self._on_tick(self._tick_period))
+        if self._monitor_period <= duration:
+            self._loop.schedule(
+                self._monitor_period, lambda: self._on_monitor(self._monitor_period)
+            )
+        self._schedule_arrival(0.0)
+        self._loop.run_until(duration)
+        self._report.node_busy_seconds = [node.busy_seconds for node in self._nodes]
+        return self._report

@@ -1,0 +1,102 @@
+"""Structured event tracing for simulations.
+
+Pass a :class:`SimulationTrace` to :class:`~repro.engine.system.
+StreamSimulator` to capture a per-event audit trail of a run: batch
+arrivals with routing decisions, per-stage node service, completions,
+and migrations.  Intended for debugging strategies and for the example
+applications' narratives — production-length runs should leave tracing
+off (every event is a Python object).
+
+Events are plain dataclass rows; :meth:`SimulationTrace.filter` and
+:meth:`SimulationTrace.summary` cover the common queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["TraceEvent", "SimulationTrace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One simulator event.
+
+    ``kind`` is one of ``arrival``, ``stage``, ``complete``,
+    ``migration``; the remaining fields are populated as applicable.
+    """
+
+    time: float
+    kind: str
+    batch_id: int | None = None
+    op_id: int | None = None
+    node: int | None = None
+    plan_label: str | None = None
+    size: float | None = None
+    detail: str = ""
+
+
+class SimulationTrace:
+    """Append-only event log with bounded memory.
+
+    ``max_events`` caps memory; once full, further events are counted
+    but not stored (the ``dropped`` counter says how many).
+    """
+
+    def __init__(self, max_events: int = 100_000) -> None:
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self._max = max_events
+        self._events: list[TraceEvent] = []
+        self._dropped = 0
+
+    def record(self, event: TraceEvent) -> None:
+        """Append an event (or count it as dropped past the cap)."""
+        if len(self._events) >= self._max:
+            self._dropped += 1
+            return
+        self._events.append(event)
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """All stored events, in simulation order."""
+        return list(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events discarded after the cap was reached."""
+        return self._dropped
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def filter(
+        self,
+        *,
+        kind: str | None = None,
+        batch_id: int | None = None,
+        op_id: int | None = None,
+    ) -> Iterator[TraceEvent]:
+        """Iterate events matching all given criteria."""
+        for event in self._events:
+            if kind is not None and event.kind != kind:
+                continue
+            if batch_id is not None and event.batch_id != batch_id:
+                continue
+            if op_id is not None and event.op_id != op_id:
+                continue
+            yield event
+
+    def batch_journey(self, batch_id: int) -> list[TraceEvent]:
+        """Every event touching one batch, arrival to completion."""
+        return list(self.filter(batch_id=batch_id))
+
+    def summary(self) -> dict[str, int]:
+        """Event counts by kind (plus drops)."""
+        counts: dict[str, int] = {}
+        for event in self._events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        if self._dropped:
+            counts["dropped"] = self._dropped
+        return counts

@@ -1,0 +1,131 @@
+"""Deriving statistics estimates — and uncertainty levels — from data.
+
+§2.2: "the uncertainty level U is computed based on how statistic
+estimates E are derived.  For example, if a value of E is available
+from the representative training data set, then U = 1 denotes low
+uncertainty."  This module implements that derivation: given observed
+samples of each statistic, the point estimate is the sample mean and
+the integer uncertainty level is the smallest ``u`` whose Algorithm 1
+band ``±0.1·u·e`` covers the desired number of sample standard
+deviations.
+
+Two entry points:
+
+* :func:`estimate_from_samples` — from raw per-parameter sample lists
+  (e.g. collected by a :class:`~repro.engine.monitor.StatisticsMonitor`).
+* :func:`calibrate_workload` — convenience: sample a workload's ground
+  truth over a horizon and estimate from that, useful to bootstrap an
+  RLD compile from a training window.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.query.statistics import UNCERTAINTY_UNIT_STEP, StatisticsEstimate
+from repro.util.validation import ensure_positive
+
+__all__ = ["estimate_from_samples", "calibrate_workload", "uncertainty_level_for"]
+
+#: Algorithm 1 supports any integer level; 5 is the largest the paper
+#: evaluates (Figure 10), so it is our default ceiling.
+DEFAULT_MAX_LEVEL = 5
+
+
+def uncertainty_level_for(
+    mean: float,
+    std: float,
+    *,
+    coverage_sigmas: float = 2.0,
+    max_level: int = DEFAULT_MAX_LEVEL,
+) -> int:
+    """Smallest integer level whose band covers ``coverage_sigmas``·σ.
+
+    Level ``u`` spans ``±0.1·u·mean`` (Algorithm 1); we want that span
+    to contain ``coverage_sigmas`` standard deviations of the observed
+    fluctuation.  A statistic with no observed variation gets level 0
+    (exact); anything needing more than ``max_level`` is clamped —
+    the caller's fluctuations exceed what the space can model, the
+    situation §2.2 flags as requiring migration after all.
+    """
+    ensure_positive(mean, "mean")
+    if std < 0:
+        raise ValueError(f"std must be >= 0, got {std}")
+    ensure_positive(coverage_sigmas, "coverage_sigmas")
+    if max_level < 0:
+        raise ValueError(f"max_level must be >= 0, got {max_level}")
+    if std <= mean * 1e-9:
+        return 0  # numerically constant: no variance evidence
+    needed = coverage_sigmas * std / (UNCERTAINTY_UNIT_STEP * mean)
+    return min(max(1, math.ceil(needed)), max_level)
+
+
+def estimate_from_samples(
+    samples: Mapping[str, Sequence[float]],
+    *,
+    coverage_sigmas: float = 2.0,
+    max_level: int = DEFAULT_MAX_LEVEL,
+) -> StatisticsEstimate:
+    """Point estimates + uncertainty levels from per-parameter samples.
+
+    Each parameter's estimate is its sample mean; its level follows
+    :func:`uncertainty_level_for`.  Parameters with a single sample are
+    treated as exact (there is no variance evidence either way).
+    """
+    if not samples:
+        raise ValueError("samples must not be empty")
+    estimates: dict[str, float] = {}
+    levels: dict[str, int] = {}
+    for name, values in samples.items():
+        data = np.asarray(list(values), dtype=float)
+        if data.size == 0:
+            raise ValueError(f"no samples for parameter {name!r}")
+        if np.any(data <= 0):
+            raise ValueError(
+                f"parameter {name!r} has non-positive samples; statistics "
+                "(rates, selectivities) must be positive"
+            )
+        mean = float(data.mean())
+        estimates[name] = mean
+        if data.size >= 2:
+            level = uncertainty_level_for(
+                mean,
+                float(data.std(ddof=1)),
+                coverage_sigmas=coverage_sigmas,
+                max_level=max_level,
+            )
+            if level > 0:
+                levels[name] = level
+    return StatisticsEstimate(estimates, levels)
+
+
+def calibrate_workload(
+    workload,
+    *,
+    duration: float,
+    n_samples: int = 200,
+    coverage_sigmas: float = 2.0,
+    max_level: int = DEFAULT_MAX_LEVEL,
+) -> StatisticsEstimate:
+    """Sample a workload's ground truth and estimate from the window.
+
+    ``workload`` is anything with ``stat_point(t)`` (normally a
+    :class:`~repro.workloads.generators.Workload`).  Samples are taken
+    at ``n_samples`` evenly spaced times over ``[0, duration)`` — the
+    "representative training data set" of §2.2.
+    """
+    ensure_positive(duration, "duration")
+    if n_samples < 2:
+        raise ValueError(f"n_samples must be >= 2, got {n_samples}")
+    collected: dict[str, list[float]] = {}
+    for k in range(n_samples):
+        time = duration * k / n_samples
+        point = workload.stat_point(time)
+        for name, value in point.items():
+            collected.setdefault(name, []).append(float(value))
+    return estimate_from_samples(
+        collected, coverage_sigmas=coverage_sigmas, max_level=max_level
+    )

@@ -1,0 +1,32 @@
+"""Runtime load-distribution strategies and the §6.5 comparison harness.
+
+* :mod:`repro.runtime.rld_runtime` — **RLD**: the fixed robust physical
+  plan plus the online classifier switching among robust logical plans
+  per batch (never migrates).
+* :mod:`repro.runtime.rod` — **ROD**: resilient static operator
+  distribution (Xing et al., VLDB'06): one logical plan, one balanced
+  placement, no adaptation of any kind.
+* :mod:`repro.runtime.dyn` — **DYN**: Borealis-style dynamic load
+  distribution: one logical plan, periodic utilization checks, operator
+  migration off hot nodes (paying suspension stalls).
+* :mod:`repro.runtime.hybrid` — **RLD+M**: RLD plus a last-resort
+  migration escape hatch for statistics outside the compiled space
+  (§2.2's caveat, implemented).
+* :mod:`repro.runtime.comparison` — run all strategies on an identical
+  workload and seed, returning comparable reports.
+"""
+
+from repro.runtime.comparison import StrategyComparison, compare_strategies
+from repro.runtime.dyn import DYNStrategy
+from repro.runtime.hybrid import RLDHybridStrategy
+from repro.runtime.rld_runtime import RLDStrategy
+from repro.runtime.rod import RODStrategy
+
+__all__ = [
+    "DYNStrategy",
+    "RLDHybridStrategy",
+    "RLDStrategy",
+    "RODStrategy",
+    "StrategyComparison",
+    "compare_strategies",
+]

@@ -1,0 +1,110 @@
+"""Run RLD, ROD, and DYN on identical workloads (§6.5's harness).
+
+Each strategy gets its own simulator instance but the same query,
+cluster, workload, duration, and seed, so reported differences come
+from the strategies alone.  Used directly by the Figure 15/16 benches
+and the example applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.physical import Cluster
+from repro.core.rld import RLDConfig, RLDOptimizer, RLDSolution
+from repro.engine.metrics import SimulationReport
+from repro.engine.system import LoadDistributionStrategy, StreamSimulator
+from repro.query.model import Query
+from repro.query.statistics import StatisticsEstimate
+from repro.runtime.dyn import DYNStrategy
+from repro.runtime.rld_runtime import RLDStrategy
+from repro.runtime.rod import RODStrategy
+from repro.workloads.generators import Workload
+
+__all__ = ["StrategyComparison", "compare_strategies", "build_standard_strategies"]
+
+
+@dataclass(frozen=True)
+class StrategyComparison:
+    """Reports of all strategies over one identical scenario."""
+
+    duration: float
+    reports: Mapping[str, SimulationReport]
+
+    def latency_ms(self, strategy: str) -> float:
+        """Average tuple processing time of one strategy."""
+        return self.reports[strategy].avg_tuple_latency_ms
+
+    def tuples_out(self, strategy: str) -> float:
+        """Total tuples produced by one strategy."""
+        return self.reports[strategy].tuples_out
+
+    def summary_rows(self) -> list[dict[str, float | str]]:
+        """One comparable row per strategy (bench table rendering)."""
+        rows: list[dict[str, float | str]] = []
+        for name, report in self.reports.items():
+            rows.append(
+                {
+                    "strategy": name,
+                    "avg_latency_ms": report.avg_tuple_latency_ms,
+                    "tuples_out": report.tuples_out,
+                    "migrations": report.migrations,
+                    "plan_switches": report.plan_switches,
+                    "overhead_fraction": report.overhead_fraction,
+                }
+            )
+        return rows
+
+
+def build_standard_strategies(
+    query: Query,
+    cluster: Cluster,
+    *,
+    estimate: StatisticsEstimate | None = None,
+    rld_config: RLDConfig | None = None,
+    rld_solution: RLDSolution | None = None,
+) -> dict[str, LoadDistributionStrategy]:
+    """Construct the paper's three contenders for one scenario.
+
+    ``rld_solution`` lets callers reuse an already-compiled solution
+    (the compile step dominates setup time in sweeps); otherwise RLD is
+    compiled here from ``estimate``.
+    """
+    if rld_solution is None:
+        optimizer = RLDOptimizer(query, cluster, config=rld_config)
+        rld_solution = optimizer.solve(estimate)
+    point = (estimate or query.default_estimates()).point
+    return {
+        "ROD": RODStrategy(query, cluster, estimate=point),
+        "DYN": DYNStrategy(query, cluster, estimate=point),
+        "RLD": RLDStrategy(rld_solution),
+    }
+
+
+def compare_strategies(
+    query: Query,
+    cluster: Cluster,
+    workload: Workload,
+    strategies: Mapping[str, LoadDistributionStrategy],
+    *,
+    duration: float = 300.0,
+    seed: int = 17,
+    batch_size: float = 100.0,
+    strategy_order: Sequence[str] = ("ROD", "DYN", "RLD"),
+) -> StrategyComparison:
+    """Simulate each strategy on the identical scenario and collect reports."""
+    reports: dict[str, SimulationReport] = {}
+    for name in strategy_order:
+        if name not in strategies:
+            continue
+        simulator = StreamSimulator(
+            query,
+            cluster,
+            strategies[name],
+            workload,
+            batch_size=batch_size,
+            seed=seed,
+        )
+        reports[name] = simulator.run(duration)
+    return StrategyComparison(duration=duration, reports=reports)

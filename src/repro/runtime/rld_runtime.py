@@ -1,0 +1,150 @@
+"""The RLD runtime strategy: fixed placement, per-batch plan switching.
+
+Implements the paper's "Robust load executor" (§3): the physical plan
+produced at compile time is instantiated once and never changes; an
+online classifier inspects the monitor's latest statistics and routes
+each tuple batch through the robust logical plan that is cheapest
+there.  Classification is cheap — the paper measures it at about 2% of
+query execution cost — and is charged here as a configurable fraction
+of each batch's expected processing time, so the reported
+``overhead_fraction`` reproduces that measurement.
+"""
+
+from __future__ import annotations
+
+from repro.core.physical import InfeasiblePlacementError, PhysicalPlan
+from repro.core.rld import RLDSolution
+from repro.engine.system import RoutingDecision, StreamSimulator
+from repro.query.cost import PlanCostModel
+from repro.query.plans import LogicalPlan
+from repro.query.statistics import StatPoint, rate_param
+from repro.util.validation import ensure_in_range
+
+__all__ = ["RLDStrategy"]
+
+
+class RLDStrategy:
+    """Online classifier over a compiled :class:`RLDSolution`.
+
+    Parameters
+    ----------
+    solution:
+        Compile-time output of :class:`~repro.core.rld.RLDOptimizer`.
+    classify_overhead_fraction:
+        Routing cost charged per batch, as a fraction of the batch's
+        expected processing seconds (§6.5 measures ≈ 0.02).
+    batch_size:
+        Expected tuples per batch, for the overhead estimate.
+    mean_capacity:
+        Average node capacity, for converting work to seconds.
+    """
+
+    name = "RLD"
+
+    def __init__(
+        self,
+        solution: RLDSolution,
+        *,
+        classify_overhead_fraction: float = 0.02,
+        batch_size: float = 100.0,
+        overload_threshold: float = 0.95,
+    ) -> None:
+        ensure_in_range(
+            classify_overhead_fraction, "classify_overhead_fraction", 0.0, 1.0
+        )
+        if overload_threshold <= 0:
+            raise ValueError(
+                f"overload_threshold must be > 0, got {overload_threshold}"
+            )
+        if not solution.feasible:
+            raise InfeasiblePlacementError(
+                "RLD solution's physical plan supports no logical plan; "
+                "increase cluster resources or relax epsilon"
+            )
+        self._solution = solution
+        self._plans: tuple[LogicalPlan, ...] = solution.supported_plans
+        self._cost_model: PlanCostModel = solution.logical.cost_model
+        self._overhead_fraction = classify_overhead_fraction
+        self._batch_size = batch_size
+        self._overload_threshold = overload_threshold
+        self._rate_name = rate_param()
+        # Placement geometry for bottleneck-aware routing: which node
+        # hosts each operator, and each node's capacity.
+        placement = solution.physical.physical_plan
+        assert placement is not None  # guarded above
+        self._node_of = {
+            op_id: placement.node_of(op_id)
+            for op_id in solution.query.operator_ids
+        }
+        self._capacities = solution.cluster.capacities
+
+    @property
+    def placement(self) -> PhysicalPlan:
+        """The fixed robust physical plan (never migrates)."""
+        plan = self._solution.physical.physical_plan
+        assert plan is not None  # guarded in __init__
+        return plan
+
+    @property
+    def candidate_plans(self) -> tuple[LogicalPlan, ...]:
+        """Robust logical plans the classifier may route batches to."""
+        return self._plans
+
+    def _bottleneck_utilization(self, plan: LogicalPlan, stats: StatPoint) -> float:
+        """Peak node utilization this plan would impose on the placement."""
+        node_loads = [0.0] * len(self._capacities)
+        for op_id, load in self._cost_model.operator_loads(plan, stats).items():
+            node_loads[self._node_of[op_id]] += load
+        return max(
+            load / capacity for load, capacity in zip(node_loads, self._capacities)
+        )
+
+    def route(self, time: float, stats: StatPoint) -> RoutingDecision:
+        """Classify the batch to a supported robust plan.
+
+        Normally the cheapest plan at the current statistics (§3's
+        online classifier).  When even the cheapest plan would saturate
+        some machine (bottleneck utilization ≥ ``overload_threshold``),
+        routing switches objective to minimizing that bottleneck — the
+        statistics are then outside the space the plan set was costed
+        for, and sustained throughput is governed by the hottest node,
+        not by total work.
+        """
+        plan = min(
+            self._plans,
+            key=lambda p: (self._cost_model.plan_cost(p, stats), p.order),
+        )
+        if (
+            len(self._plans) > 1
+            and self._bottleneck_utilization(plan, stats) >= self._overload_threshold
+        ):
+            plan = min(
+                self._plans,
+                key=lambda p: (
+                    self._bottleneck_utilization(p, stats),
+                    self._cost_model.plan_cost(p, stats),
+                    p.order,
+                ),
+            )
+        overhead = self._classification_overhead(plan, stats)
+        return RoutingDecision(plan=plan, overhead_seconds=overhead)
+
+    def _classification_overhead(self, plan: LogicalPlan, stats: StatPoint) -> float:
+        """Charge ≈ ``fraction`` of the batch's expected service seconds."""
+        if self._overhead_fraction == 0.0:
+            return 0.0
+        rate = float(stats.get(self._rate_name, 1.0))
+        if rate <= 0:
+            return 0.0
+        per_tuple_cost = self._cost_model.plan_cost(plan, stats) / rate
+        expected_seconds = (
+            self._batch_size * per_tuple_cost / self._mean_capacity()
+        )
+        return self._overhead_fraction * expected_seconds
+
+    def _mean_capacity(self) -> float:
+        cluster = self._solution.cluster
+        return cluster.total_capacity / cluster.n_nodes
+
+    def on_tick(self, simulator: StreamSimulator, time: float) -> None:
+        """RLD never migrates; nothing to do on ticks."""

@@ -1,0 +1,69 @@
+"""ROD baseline: resilient operator distribution (Xing et al., VLDB'06).
+
+As characterized in §7, ROD computes a single *feasible* physical plan
+meant to stay feasible under input-rate variations, but (1) it executes
+one fixed logical plan — no plan switching, (2) it never migrates, and
+(3) it assumes operator load is linear in input rate with constant
+selectivities.  We reproduce that behaviour: the logical plan optimal
+at the point estimate, placed by load-balancing LLF/LPT (maximizing
+per-node headroom, the proxy for ROD's feasible-region maximization),
+then frozen for the whole run.
+"""
+
+from __future__ import annotations
+
+from repro.core.greedy_phy import largest_load_first
+from repro.core.physical import Cluster, InfeasiblePlacementError, PhysicalPlan
+from repro.engine.system import RoutingDecision, StreamSimulator
+from repro.query.cost import PlanCostModel
+from repro.query.model import Query
+from repro.query.statistics import StatPoint
+
+__all__ = ["RODStrategy"]
+
+
+class RODStrategy:
+    """One estimate-optimal logical plan on one balanced static placement."""
+
+    name = "ROD"
+
+    def __init__(
+        self,
+        query: Query,
+        cluster: Cluster,
+        *,
+        estimate: StatPoint | None = None,
+    ) -> None:
+        from repro.query.optimizer import make_optimizer  # local: avoids cycle at import
+
+        self._query = query
+        self._cluster = cluster
+        point = estimate or query.estimate_point()
+        optimizer = make_optimizer(query)
+        self._plan = optimizer.optimize(point)
+        self._cost_model = PlanCostModel(query)
+        loads = self._cost_model.operator_loads(self._plan, point)
+        placement = largest_load_first(loads, cluster)
+        if placement is None:
+            raise InfeasiblePlacementError(
+                f"ROD cannot place query {query.name!r} at its estimate "
+                f"point within the given cluster"
+            )
+        self._placement = placement
+
+    @property
+    def placement(self) -> PhysicalPlan:
+        """The balanced static placement (never changes)."""
+        return self._placement
+
+    @property
+    def logical_plan(self):
+        """The single logical plan ROD executes forever."""
+        return self._plan
+
+    def route(self, time: float, stats: StatPoint) -> RoutingDecision:
+        """Always the compile-time plan, zero routing overhead."""
+        return RoutingDecision(plan=self._plan, overhead_seconds=0.0)
+
+    def on_tick(self, simulator: StreamSimulator, time: float) -> None:
+        """ROD never adapts at runtime."""

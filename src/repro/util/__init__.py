@@ -1,0 +1,23 @@
+"""Small shared utilities: seeded randomness, validation, math helpers.
+
+These modules carry no domain knowledge; everything stream-processing
+specific lives in :mod:`repro.query`, :mod:`repro.core`,
+:mod:`repro.engine`, :mod:`repro.runtime`, and :mod:`repro.workloads`.
+"""
+
+from repro.util.rng import SeedSequenceFactory, derive_rng
+from repro.util.validation import (
+    ensure_in_range,
+    ensure_non_empty,
+    ensure_positive,
+    ensure_probability,
+)
+
+__all__ = [
+    "SeedSequenceFactory",
+    "derive_rng",
+    "ensure_in_range",
+    "ensure_non_empty",
+    "ensure_positive",
+    "ensure_probability",
+]

@@ -1,0 +1,76 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component in the library (workload generators, the RS
+baseline search, the event simulator) accepts either an integer seed or a
+:class:`numpy.random.Generator`.  Centralising the conversion here keeps
+experiments reproducible: the same seed always yields the same streams,
+the same fluctuation schedule, and the same sampled search points.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["derive_rng", "SeedSequenceFactory"]
+
+
+def derive_rng(seed_or_rng: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed_or_rng``.
+
+    ``None`` produces a freshly seeded generator (non-reproducible, for
+    interactive use); an ``int`` produces a deterministic generator; an
+    existing generator is passed through unchanged so that callers can
+    share one stream of entropy across components.
+    """
+    if seed_or_rng is None:
+        return np.random.default_rng()
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    if isinstance(seed_or_rng, (int, np.integer)):
+        return np.random.default_rng(int(seed_or_rng))
+    raise TypeError(
+        f"expected int seed, numpy Generator, or None; got {type(seed_or_rng).__name__}"
+    )
+
+
+class SeedSequenceFactory:
+    """Hand out independent child generators from one root seed.
+
+    A simulation wires together many stochastic parts (one per stream
+    source, one for the fluctuation schedule, one for the monitor's
+    sampling jitter).  Giving each part its own child of a single root
+    :class:`numpy.random.SeedSequence` keeps them statistically
+    independent while the whole run stays reproducible from one integer.
+
+    Example::
+
+        factory = SeedSequenceFactory(42)
+        rng_a = factory.child()   # independent stream
+        rng_b = factory.child()   # independent of rng_a
+    """
+
+    def __init__(self, root_seed: int | None = None) -> None:
+        self._sequence = np.random.SeedSequence(root_seed)
+        self._children: Iterator[np.random.SeedSequence] | None = None
+        self._spawned = 0
+
+    @property
+    def root_entropy(self) -> int:
+        """The root entropy, usable to re-create an identical factory."""
+        entropy = self._sequence.entropy
+        if isinstance(entropy, (list, tuple)):
+            return int(entropy[0])
+        return int(entropy)
+
+    @property
+    def spawned(self) -> int:
+        """Number of child generators handed out so far."""
+        return self._spawned
+
+    def child(self) -> np.random.Generator:
+        """Return the next independent child generator."""
+        (child_sequence,) = self._sequence.spawn(1)
+        self._spawned += 1
+        return np.random.default_rng(child_sequence)

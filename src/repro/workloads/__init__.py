@@ -1,0 +1,57 @@
+"""Synthetic workloads reproducing the paper's §6.1 data sets.
+
+The original evaluation streamed live NYSE stock / Yahoo currency / RSS
+feeds and the Intel Research Berkeley Lab sensor trace into D-CAPE.
+Offline, we generate statistically equivalent synthetic streams:
+
+* :mod:`repro.workloads.generators` — rate and selectivity fluctuation
+  profiles (constant, periodic alternation, step schedules, bounded
+  random walks, regime switches) and the :class:`Workload` bundle that
+  serves as the simulator's ground truth.
+* :mod:`repro.workloads.queries` — the paper's Q1 (5-way join) and Q2
+  (10-way join) plus an N-way generator.
+* :mod:`repro.workloads.stock` — the Stocks-News-Blogs-Currency
+  scenario with bullish/bearish regime switches (Example 1).
+* :mod:`repro.workloads.sensor` — Intel-lab style sensor streams with
+  diurnal drift and bursts.
+* :mod:`repro.workloads.datagen` — Table 2's Uniform/Poisson value
+  distributions with moment reporting.
+"""
+
+from repro.workloads.datagen import DistributionSummary, summarize, table2_distributions
+from repro.workloads.generators import (
+    ConstantRate,
+    ConstantSelectivity,
+    PeriodicRate,
+    RandomWalkSelectivity,
+    RegimeSwitchSelectivity,
+    StepRate,
+    Workload,
+)
+from repro.workloads.queries import build_nway, build_q1, build_q2
+from repro.workloads.replay import ReplayWorkload
+from repro.workloads.sensor import SensorReading, generate_sensor_readings, sensor_workload
+from repro.workloads.stock import StockTick, generate_stock_ticks, stock_workload
+
+__all__ = [
+    "ConstantRate",
+    "ConstantSelectivity",
+    "DistributionSummary",
+    "PeriodicRate",
+    "RandomWalkSelectivity",
+    "RegimeSwitchSelectivity",
+    "ReplayWorkload",
+    "SensorReading",
+    "StepRate",
+    "StockTick",
+    "Workload",
+    "build_nway",
+    "build_q1",
+    "build_q2",
+    "generate_sensor_readings",
+    "generate_stock_ticks",
+    "sensor_workload",
+    "stock_workload",
+    "summarize",
+    "table2_distributions",
+]

@@ -1,0 +1,144 @@
+"""The paper's benchmark queries: Q1 (5-way) and Q2 (10-way) joins.
+
+§6.1: "The queries are equi-joins of 10 streams"; §6.3 uses Q1, a
+5-way join, and Q2, a 10-way join.  An N-way equi-join pipeline over a
+driving stream has one window-join operator per probed stream; each
+operator carries a per-tuple cost (join work against its window) and a
+selectivity/fan-out estimate.
+
+Cost/selectivity values are fixed so that operator *ranks* —
+``(σ−1)/c``, which determine the optimal ordering — lie close together:
+moderate fluctuations then invert orderings, producing the multi-plan
+robust logical solutions the paper studies.  :func:`build_nway`
+generates arbitrary sizes deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.query.model import JoinGraph, Operator, Query, StreamSchema
+from repro.util.rng import derive_rng
+
+__all__ = ["build_q1", "build_q2", "build_nway"]
+
+#: Q1's per-operator (cost, selectivity): the stock-monitoring 5-way
+#: join.  op1 and op3 are near-unit-fanout joins whose selectivities
+#: swing across 1.0 under fluctuation, so a mis-ordered plan amplifies
+#: the whole downstream cascade — wrong-plan penalties reach ≈ 2.2×,
+#: the regime the paper's Example 1 describes.
+_Q1_STATS = [
+    (4.0, 0.55),
+    (2.5, 0.95),
+    (1.8, 0.70),
+    (1.2, 1.05),
+    (0.8, 0.60),
+]
+
+#: Q2's per-operator (cost, selectivity): the 10-way join of §6.3.
+#: Ranks descend in ~0.03 steps, well inside the swing a ±20%
+#: selectivity fluctuation induces, so neighbouring operators swap.
+_Q2_STATS = [
+    (4.5, 0.460),
+    (3.8, 0.430),
+    (3.2, 0.456),
+    (2.7, 0.460),
+    (2.2, 0.494),
+    (1.8, 0.532),
+    (1.5, 0.580),
+    (1.2, 0.628),
+    (0.9, 0.685),
+    (0.7, 0.734),
+]
+
+_Q1_STREAM_NAMES = ["Stocks", "News", "Blogs", "Research", "Currency"]
+
+
+def _make_operators(stats: list[tuple[float, float]], streams: list[str]) -> tuple[Operator, ...]:
+    operators = []
+    for i, (cost, selectivity) in enumerate(stats):
+        operators.append(
+            Operator(
+                op_id=i,
+                name=f"op{i}",
+                cost_per_tuple=cost,
+                selectivity=selectivity,
+                # Window state scales with the join's processing weight.
+                state_size=2.0 * cost,
+                stream=streams[i % len(streams)],
+            )
+        )
+    return tuple(operators)
+
+
+def build_q1(*, base_rate: float = 100.0) -> Query:
+    """Q1: the 5-way stock/news join (Example 1 grown to §6.3's size)."""
+    streams = [StreamSchema("Stocks", ("symbol", "price", "sector"), base_rate)]
+    streams += [StreamSchema(name, (), base_rate) for name in _Q1_STREAM_NAMES[1:]]
+    return Query(
+        name="Q1",
+        operators=_make_operators(_Q1_STATS, _Q1_STREAM_NAMES),
+        streams=tuple(streams),
+        window_seconds=60.0,
+    )
+
+
+def build_q2(*, base_rate: float = 100.0) -> Query:
+    """Q2: the 10-way equi-join used for the scaling experiments."""
+    stream_names = [f"S{i}" for i in range(len(_Q2_STATS))]
+    streams = tuple(StreamSchema(name, (), base_rate) for name in stream_names)
+    return Query(
+        name="Q2",
+        operators=_make_operators(_Q2_STATS, stream_names),
+        streams=streams,
+        window_seconds=60.0,
+    )
+
+
+def build_nway(
+    n_operators: int,
+    *,
+    base_rate: float = 100.0,
+    seed: int | np.random.Generator | None = 42,
+    chain: bool = False,
+    selectivity_range: tuple[float, float] = (0.40, 0.62),
+) -> Query:
+    """An N-operator join pipeline with seeded, rank-clustered statistics.
+
+    Costs are spread over [0.7, 3.5] and selectivities over
+    ``selectivity_range`` so orderings stay fluctuation-sensitive at
+    any size; a range reaching past 1.0 (join fan-out) makes wrong
+    orderings expensive, the regime of the paper's Example 1.
+    ``chain=True`` adds a linear join graph (ordering constrained to
+    connected prefixes), exercising the DP optimizer path.
+    """
+    if n_operators < 1:
+        raise ValueError(f"n_operators must be >= 1, got {n_operators}")
+    lo, hi = selectivity_range
+    if not 0 < lo < hi:
+        raise ValueError(f"invalid selectivity_range {selectivity_range}")
+    rng = derive_rng(seed)
+    costs = np.sort(rng.uniform(0.7, 3.5, size=n_operators))[::-1]
+    selectivities = rng.uniform(lo, hi, size=n_operators)
+    streams = tuple(
+        StreamSchema(f"S{i}", (), base_rate) for i in range(n_operators)
+    )
+    operators = tuple(
+        Operator(
+            op_id=i,
+            name=f"op{i}",
+            cost_per_tuple=float(costs[i]),
+            selectivity=float(selectivities[i]),
+            state_size=2.0 * float(costs[i]),
+            stream=f"S{i}",
+        )
+        for i in range(n_operators)
+    )
+    graph = JoinGraph.chain(range(n_operators)) if chain else JoinGraph()
+    return Query(
+        name=f"J{n_operators}",
+        operators=operators,
+        streams=streams,
+        join_graph=graph,
+        window_seconds=60.0,
+    )

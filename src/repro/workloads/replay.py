@@ -1,0 +1,137 @@
+"""Trace-replay workloads: recorded statistics as simulation ground truth.
+
+Production deployments tune against *recorded* traffic, not synthetic
+profiles.  :class:`ReplayWorkload` implements the simulator's
+ground-truth protocol from a time-indexed sequence of statistics points
+— recorded from a live monitor, exported from another system, or
+captured from an existing :class:`~repro.workloads.generators.Workload`
+via :meth:`ReplayWorkload.record` — with step or linear interpolation
+between samples and clamp-at-the-ends semantics.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Mapping, Sequence
+
+from repro.query.model import Query
+from repro.query.statistics import StatPoint, rate_param
+
+__all__ = ["ReplayWorkload"]
+
+
+class ReplayWorkload:
+    """Ground truth replayed from ``(time, {param: value})`` samples.
+
+    Parameters
+    ----------
+    query:
+        The query whose statistics the trace describes.
+    samples:
+        Time-ascending ``(t, mapping)`` pairs.  Every mapping must
+        contain the driving rate and every operator selectivity.
+    interpolation:
+        ``"linear"`` (default) or ``"step"`` (previous-sample holds).
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        samples: Sequence[tuple[float, Mapping[str, float]]],
+        *,
+        interpolation: str = "linear",
+    ) -> None:
+        if interpolation not in ("linear", "step"):
+            raise ValueError(
+                f"interpolation must be 'linear' or 'step', got {interpolation!r}"
+            )
+        if len(samples) < 1:
+            raise ValueError("need at least one trace sample")
+        times = [t for t, _ in samples]
+        if times != sorted(times):
+            raise ValueError("trace samples must be time-ascending")
+        if len(set(times)) != len(times):
+            raise ValueError("trace samples must have distinct times")
+
+        required = {rate_param()} | {
+            op.selectivity_param for op in query.operators
+        }
+        for t, mapping in samples:
+            missing = required - set(mapping)
+            if missing:
+                raise ValueError(
+                    f"trace sample at t={t} is missing {sorted(missing)}"
+                )
+
+        self._query = query
+        self._times = times
+        self._values = [dict(mapping) for _, mapping in samples]
+        self._interpolation = interpolation
+        self._rate_name = rate_param()
+
+    @classmethod
+    def record(
+        cls,
+        workload,
+        *,
+        duration: float,
+        n_samples: int = 200,
+        interpolation: str = "linear",
+    ) -> "ReplayWorkload":
+        """Capture another workload's ground truth into a replayable trace.
+
+        ``workload`` needs ``query`` and ``stat_point(t)`` — any
+        :class:`~repro.workloads.generators.Workload` qualifies.
+        """
+        if duration <= 0:
+            raise ValueError(f"duration must be > 0, got {duration}")
+        if n_samples < 1:
+            raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+        step = duration / n_samples
+        samples = [
+            (k * step, dict(workload.stat_point(k * step)))
+            for k in range(n_samples + 1)
+        ]
+        return cls(workload.query, samples, interpolation=interpolation)
+
+    @property
+    def query(self) -> Query:
+        """The query this trace drives."""
+        return self._query
+
+    @property
+    def duration(self) -> float:
+        """Time of the last trace sample."""
+        return self._times[-1]
+
+    def _lookup(self, name: str, time: float) -> float:
+        times = self._times
+        if time <= times[0]:
+            return float(self._values[0][name])
+        if time >= times[-1]:
+            return float(self._values[-1][name])
+        right = bisect.bisect_right(times, time)
+        left = right - 1
+        left_value = float(self._values[left][name])
+        if self._interpolation == "step" or times[right] == times[left]:
+            return left_value
+        right_value = float(self._values[right][name])
+        frac = (time - times[left]) / (times[right] - times[left])
+        return left_value + frac * (right_value - left_value)
+
+    def rate(self, time: float) -> float:
+        """Replayed driving input rate at ``time``."""
+        return self._lookup(self._rate_name, time)
+
+    def selectivity(self, op_id: int, time: float) -> float:
+        """Replayed selectivity of ``op_id`` at ``time``."""
+        return self._lookup(self._query.operator(op_id).selectivity_param, time)
+
+    def stat_point(self, time: float) -> StatPoint:
+        """The full replayed statistics point at ``time``."""
+        values = {self._rate_name: self.rate(time)}
+        for op in self._query.operators:
+            values[op.selectivity_param] = self._lookup(
+                op.selectivity_param, time
+            )
+        return StatPoint(values)

@@ -1,0 +1,121 @@
+"""The Stocks-News-Blogs-Currency scenario (§6.1, Example 1).
+
+Two artifacts replace the live NYSE/Yahoo/RSS feeds:
+
+* :func:`generate_stock_ticks` — record-level synthetic ticks whose
+  prices follow a regime-switching geometric random walk (bullish
+  upward drift alternating with bearish downward drift), for the
+  example applications.
+* :func:`stock_workload` — the simulation-level ground truth: operator
+  selectivities flip in anti-phase with the bull/bear regime (fewer
+  bullish-pattern matches and more news matches in a bear market —
+  exactly Example 1's ordering inversion) while the input rate pulses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.query.model import Query
+from repro.util.rng import derive_rng
+from repro.util.validation import ensure_positive
+from repro.workloads.generators import (
+    PeriodicRate,
+    RegimeSwitchSelectivity,
+    Workload,
+)
+from repro.workloads.queries import build_q1
+
+__all__ = ["StockTick", "generate_stock_ticks", "stock_workload"]
+
+_SYMBOLS = ["WPI", "ACME", "GLOB", "NRG", "FIN", "MED", "TECH", "AGRI"]
+_SECTORS = {
+    "WPI": "education",
+    "ACME": "industrial",
+    "GLOB": "industrial",
+    "NRG": "energy",
+    "FIN": "finance",
+    "MED": "health",
+    "TECH": "technology",
+    "AGRI": "agriculture",
+}
+
+
+@dataclass(frozen=True)
+class StockTick:
+    """One synthetic stock-stream tuple."""
+
+    timestamp: float
+    symbol: str
+    sector: str
+    price: float
+    volume: int
+    bullish: bool
+
+
+def generate_stock_ticks(
+    n_ticks: int,
+    *,
+    seed: int | np.random.Generator | None = 5,
+    tick_seconds: float = 0.01,
+    regime_period: float = 120.0,
+    volatility: float = 0.002,
+    drift: float = 0.0005,
+) -> Iterator[StockTick]:
+    """Yield ``n_ticks`` regime-switching synthetic ticks.
+
+    Prices follow a geometric random walk whose drift sign flips every
+    ``regime_period`` seconds (bull ↔ bear); the ``bullish`` flag marks
+    the active regime, which is what Example 1's pattern-matching
+    operator keys on.
+    """
+    ensure_positive(tick_seconds, "tick_seconds")
+    ensure_positive(regime_period, "regime_period")
+    rng = derive_rng(seed)
+    prices = {symbol: 100.0 * (1 + 0.1 * i) for i, symbol in enumerate(_SYMBOLS)}
+    for k in range(n_ticks):
+        timestamp = k * tick_seconds
+        bullish = math.floor(timestamp / regime_period) % 2 == 0
+        symbol = _SYMBOLS[int(rng.integers(0, len(_SYMBOLS)))]
+        direction = drift if bullish else -drift
+        shock = float(rng.normal(direction, volatility))
+        prices[symbol] = max(prices[symbol] * math.exp(shock), 0.01)
+        yield StockTick(
+            timestamp=timestamp,
+            symbol=symbol,
+            sector=_SECTORS[symbol],
+            price=round(prices[symbol], 2),
+            volume=int(rng.integers(100, 10_000)),
+            bullish=bullish,
+        )
+
+
+def stock_workload(
+    query: Query | None = None,
+    *,
+    uncertainty_level: int = 2,
+    regime_period: float = 120.0,
+    rate_high: float = 1.3,
+    rate_low: float = 0.8,
+    rate_period: float = 60.0,
+) -> Workload:
+    """Ground-truth workload for the stock-monitoring scenario.
+
+    Selectivities regime-switch in anti-phase (square wave, as market
+    regime changes are abrupt) with amplitude ``0.1×uncertainty_level``
+    so the truth stays within the Algorithm 1 parameter space at that
+    level; rates pulse between ``rate_low`` and ``rate_high``.
+    """
+    query = query or build_q1()
+    levels = {op.op_id: uncertainty_level for op in query.operators}
+    return Workload(
+        query,
+        rate_profile=PeriodicRate(high=rate_high, low=rate_low, period=rate_period),
+        selectivity_profile=RegimeSwitchSelectivity(
+            levels, period=regime_period, mode="square"
+        ),
+    )

@@ -1,0 +1,125 @@
+"""Tests for the correlated occurrence model (future-work extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Dimension, NormalOccurrenceModel, ParameterSpace
+from repro.core.correlation import CorrelatedOccurrenceModel
+from repro.core.parameter_space import Region
+
+
+@pytest.fixture
+def unit_space() -> ParameterSpace:
+    return ParameterSpace(
+        [Dimension("x", 0.0, 1.0, 9), Dimension("y", 0.0, 1.0, 9)]
+    )
+
+
+class TestAgainstIndependentModel:
+    def test_zero_correlation_matches_independent_model(self, unit_space):
+        independent = NormalOccurrenceModel(unit_space)
+        correlated = CorrelatedOccurrenceModel(unit_space)  # identity corr
+        for index in [(0, 0), (4, 4), (2, 7), (8, 1)]:
+            assert correlated.cell_probability(index) == pytest.approx(
+                independent.cell_probability(index), rel=1e-6, abs=1e-9
+            )
+
+    def test_total_mass_matches_independent_at_zero_rho(self, unit_space):
+        independent = NormalOccurrenceModel(unit_space)
+        correlated = CorrelatedOccurrenceModel(unit_space)
+        assert correlated.total_mass() == pytest.approx(
+            independent.total_mass(), rel=1e-6
+        )
+
+
+class TestCorrelationShapesMass:
+    def test_positive_rho_concentrates_on_diagonal(self, unit_space):
+        model = CorrelatedOccurrenceModel(
+            unit_space, correlation=[[1.0, 0.9], [0.9, 1.0]]
+        )
+        independent = CorrelatedOccurrenceModel(unit_space)
+        diagonal = model.cell_probability((6, 6))
+        anti = model.cell_probability((6, 2))
+        assert diagonal > anti
+        # And more sharply than under independence.
+        assert diagonal / anti > (
+            independent.cell_probability((6, 6))
+            / independent.cell_probability((6, 2))
+        )
+
+    def test_negative_rho_concentrates_on_anti_diagonal(self, unit_space):
+        model = CorrelatedOccurrenceModel.anti_synchronized(unit_space, rho=-0.9)
+        assert model.cell_probability((6, 2)) > model.cell_probability((6, 6))
+
+    def test_region_mass_consistent_with_cells(self, unit_space):
+        model = CorrelatedOccurrenceModel(
+            unit_space, correlation=[[1.0, -0.5], [-0.5, 1.0]]
+        )
+        region = Region(unit_space, (2, 3), (4, 6))
+        summed = sum(model.cell_probability(idx) for idx in region.indices())
+        assert model.region_probability(region) == pytest.approx(summed, rel=1e-5)
+
+    def test_cells_sum_to_total(self, unit_space):
+        model = CorrelatedOccurrenceModel.anti_synchronized(unit_space, rho=-0.6)
+        total = sum(
+            model.cell_probability(idx) for idx in unit_space.grid_indices()
+        )
+        assert total == pytest.approx(model.total_mass(), rel=1e-5)
+
+
+class TestPlanWeightsIntegration:
+    def test_anti_synchronized_weights_shift_toward_regime_plans(self):
+        """Under regime-style correlation the weights re-rank plans."""
+        from repro.core import EarlyTerminatedRobustPartitioning
+        from repro.workloads import build_q1
+
+        query = build_q1()
+        estimate = query.default_estimates({"sel:1": 4, "sel:3": 4})
+        space = ParameterSpace.from_estimates(estimate, points_per_level=2)
+        solution = EarlyTerminatedRobustPartitioning(
+            query, space, epsilon=0.1
+        ).run().solution
+        independent = solution.plan_weights(NormalOccurrenceModel(space))
+        correlated = solution.plan_weights(
+            CorrelatedOccurrenceModel.anti_synchronized(space, rho=-0.9)
+        )
+        # Same plans, different masses — the distribution genuinely moved.
+        assert set(independent) == set(correlated)
+        shifts = [
+            abs(correlated[p] - independent[p]) for p in independent
+        ]
+        assert max(shifts) > 0.01
+
+
+class TestValidation:
+    def test_wrong_shape_rejected(self, unit_space):
+        with pytest.raises(ValueError, match="2x2"):
+            CorrelatedOccurrenceModel(unit_space, correlation=[[1.0]])
+
+    def test_asymmetric_rejected(self, unit_space):
+        with pytest.raises(ValueError, match="symmetric"):
+            CorrelatedOccurrenceModel(
+                unit_space, correlation=[[1.0, 0.5], [0.2, 1.0]]
+            )
+
+    def test_bad_diagonal_rejected(self, unit_space):
+        with pytest.raises(ValueError, match="diagonal"):
+            CorrelatedOccurrenceModel(
+                unit_space, correlation=[[2.0, 0.0], [0.0, 1.0]]
+            )
+
+    def test_non_psd_rejected(self):
+        space = ParameterSpace(
+            [Dimension(n, 0.0, 1.0, 5) for n in ("x", "y", "z")]
+        )
+        with pytest.raises(ValueError, match="equicorrelation"):
+            CorrelatedOccurrenceModel.anti_synchronized(space, rho=-0.9)
+
+    def test_pinned_dimensions_excluded(self):
+        space = ParameterSpace(
+            [Dimension("x", 0.0, 1.0, 5), Dimension("y", 0.5, 0.5, 1)]
+        )
+        model = CorrelatedOccurrenceModel(space)  # 1 varying dim: ok
+        assert model.total_mass() > 0.9

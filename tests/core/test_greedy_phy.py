@@ -1,0 +1,143 @@
+"""Tests for LLF placement and the GreedyPhy algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Cluster, PlanLoadTable, greedy_phy, largest_load_first
+from repro.query import LogicalPlan
+
+
+def _table(loads_by_plan: dict[tuple[int, ...], dict[int, float]], weights=None):
+    plans = [LogicalPlan(order) for order in loads_by_plan]
+    loads = {LogicalPlan(order): table for order, table in loads_by_plan.items()}
+    if weights is None:
+        weights = {plan: 1.0 / len(plans) for plan in plans}
+    else:
+        weights = {LogicalPlan(o): w for o, w in weights.items()}
+    return PlanLoadTable(plans, loads, weights)
+
+
+class TestLLF:
+    def test_balances_across_nodes(self):
+        cluster = Cluster.homogeneous(2, 100.0)
+        plan = largest_load_first({0: 60.0, 1: 50.0, 2: 40.0, 3: 30.0}, cluster)
+        assert plan is not None
+        node_loads = [
+            sum({0: 60.0, 1: 50.0, 2: 40.0, 3: 30.0}[op] for op in ops)
+            for ops in plan.assignment
+        ]
+        # LPT: 60→n0, 50→n1, 40→n1 (lighter), 30→n0 → perfectly balanced.
+        assert sorted(node_loads) == [90.0, 90.0]
+
+    def test_infeasible_returns_none(self):
+        cluster = Cluster.homogeneous(2, 50.0)
+        assert largest_load_first({0: 60.0}, cluster) is None
+
+    def test_respects_heterogeneous_capacity(self):
+        cluster = Cluster((100.0, 10.0))
+        plan = largest_load_first({0: 90.0, 1: 9.0}, cluster)
+        assert plan is not None
+        assert plan.node_of(0) == 0
+
+    def test_deterministic_tie_break(self):
+        cluster = Cluster.homogeneous(2, 100.0)
+        a = largest_load_first({0: 10.0, 1: 10.0, 2: 10.0}, cluster)
+        b = largest_load_first({0: 10.0, 1: 10.0, 2: 10.0}, cluster)
+        assert a == b
+
+    def test_exact_fit_allowed(self):
+        cluster = Cluster.homogeneous(1, 100.0)
+        plan = largest_load_first({0: 60.0, 1: 40.0}, cluster)
+        assert plan is not None
+        assert plan.covers([0, 1])
+
+
+class TestGreedyPhy:
+    def test_supports_all_plans_when_resources_suffice(self):
+        table = _table(
+            {
+                (0, 1, 2): {0: 30.0, 1: 20.0, 2: 10.0},
+                (2, 1, 0): {0: 10.0, 1: 25.0, 2: 30.0},
+            }
+        )
+        result = greedy_phy(table, Cluster.homogeneous(3, 100.0))
+        assert result.feasible
+        assert set(result.supported_plans) == set(table.plans)
+        assert result.score == pytest.approx(1.0)
+
+    def test_drops_least_weighted_plan_under_pressure(self):
+        # Plan B's worst-case loads don't fit; plan A's do.
+        table = _table(
+            {
+                (0, 1, 2): {0: 30.0, 1: 20.0, 2: 10.0},
+                (2, 1, 0): {0: 90.0, 1: 90.0, 2: 90.0},
+            },
+            weights={(0, 1, 2): 0.9, (2, 1, 0): 0.1},
+        )
+        result = greedy_phy(table, Cluster.homogeneous(2, 60.0))
+        assert result.feasible
+        assert result.supported_plans == (LogicalPlan((0, 1, 2)),)
+        assert result.score == pytest.approx(0.9)
+
+    def test_infeasible_when_nothing_fits(self):
+        table = _table({(0, 1): {0: 100.0, 1: 100.0}})
+        result = greedy_phy(table, Cluster.homogeneous(1, 50.0))
+        assert not result.feasible
+        assert result.physical_plan is None
+        assert result.score == 0.0
+
+    def test_placement_is_complete_partition(self):
+        table = _table(
+            {
+                (0, 1, 2): {0: 30.0, 1: 20.0, 2: 10.0},
+                (2, 1, 0): {0: 10.0, 1: 25.0, 2: 30.0},
+            }
+        )
+        result = greedy_phy(table, Cluster.homogeneous(2, 100.0))
+        assert result.physical_plan is not None
+        assert result.physical_plan.covers([0, 1, 2])
+
+    def test_compile_time_recorded(self):
+        table = _table({(0, 1): {0: 10.0, 1: 10.0}})
+        result = greedy_phy(table, Cluster.homogeneous(2, 100.0))
+        assert result.compile_seconds >= 0.0
+        assert result.algorithm == "GreedyPhy"
+
+
+class TestDropPolicy:
+    def test_invalid_policy_rejected(self):
+        table = _table({(0, 1): {0: 10.0, 1: 10.0}})
+        with pytest.raises(ValueError, match="drop_policy"):
+            greedy_phy(table, Cluster.homogeneous(1, 100.0), drop_policy="bogus")
+
+    def test_policies_agree_when_no_drops_needed(self):
+        table = _table(
+            {
+                (0, 1, 2): {0: 30.0, 1: 20.0, 2: 10.0},
+                (2, 1, 0): {0: 10.0, 1: 25.0, 2: 30.0},
+            }
+        )
+        cluster = Cluster.homogeneous(3, 100.0)
+        a = greedy_phy(table, cluster, drop_policy="min-weight-max-ops")
+        b = greedy_phy(table, cluster, drop_policy="min-weight")
+        assert a.score == pytest.approx(b.score)
+        assert a.physical_plan == b.physical_plan
+
+    def test_paper_policy_breaks_weight_ties_by_load_domination(self):
+        # Two equal-weight plans; plan B dominates the max-load table on
+        # every operator, so the paper policy drops B first and salvages
+        # the lighter plan A, while resources cannot host B at all.
+        table = _table(
+            {
+                (0, 1): {0: 30.0, 1: 30.0},   # plan A: light
+                (1, 0): {0: 90.0, 1: 90.0},   # plan B: dominates everywhere
+            },
+            weights={(0, 1): 0.5, (1, 0): 0.5},
+        )
+        cluster = Cluster.homogeneous(2, 40.0)
+        result = greedy_phy(table, cluster, drop_policy="min-weight-max-ops")
+        assert result.feasible
+        from repro.query import LogicalPlan
+
+        assert result.supported_plans == (LogicalPlan((0, 1)),)

@@ -1,0 +1,112 @@
+"""Tests for the heterogeneous-cluster OptPrune extension."""
+
+from __future__ import annotations
+
+from itertools import product as iter_product
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Cluster, PhysicalPlan, PlanLoadTable
+from repro.core.optprune import opt_prune, opt_prune_heterogeneous
+from repro.query import LogicalPlan
+
+
+def _table(loads_by_plan, weights=None):
+    plans = [LogicalPlan(order) for order in loads_by_plan]
+    loads = {LogicalPlan(order): table for order, table in loads_by_plan.items()}
+    if weights is None:
+        weights = {plan: 1.0 / len(plans) for plan in plans}
+    else:
+        weights = {LogicalPlan(o): w for o, w in weights.items()}
+    return PlanLoadTable(plans, loads, weights)
+
+
+def _brute_force_score(table: PlanLoadTable, cluster: Cluster) -> float:
+    """Ground truth: every operator→node assignment, no pruning."""
+    ops = list(table.operator_ids)
+    best = 0.0
+    for assignment in iter_product(range(cluster.n_nodes), repeat=len(ops)):
+        blocks = [set() for _ in range(cluster.n_nodes)]
+        for op_id, node in zip(ops, assignment):
+            blocks[node].add(op_id)
+        plan = PhysicalPlan(tuple(frozenset(b) for b in blocks))
+        mask = plan.support_mask(table, cluster)
+        best = max(best, table.score(mask))
+    return best
+
+
+class TestHeterogeneous:
+    def test_exploits_the_big_machine(self):
+        # One plan needs 70 units co-located; only node 0 can host it.
+        table = _table({(0, 1): {0: 40.0, 1: 30.0}})
+        cluster = Cluster((80.0, 20.0))
+        result = opt_prune_heterogeneous(table, cluster)
+        assert result.feasible
+        assert result.physical_plan.node_of(0) == 0
+        assert result.physical_plan.node_of(1) == 0
+
+    def test_matches_brute_force_on_small_instances(self):
+        table = _table(
+            {
+                (0, 1, 2): {0: 35.0, 1: 25.0, 2: 15.0},
+                (2, 1, 0): {0: 15.0, 1: 30.0, 2: 40.0},
+            },
+            weights={(0, 1, 2): 0.7, (2, 1, 0): 0.3},
+        )
+        cluster = Cluster((60.0, 40.0, 25.0))
+        result = opt_prune_heterogeneous(table, cluster)
+        assert result.score == pytest.approx(_brute_force_score(table, cluster))
+
+    def test_agrees_with_homogeneous_optprune(self):
+        table = _table(
+            {
+                (0, 1, 2, 3): {0: 30.0, 1: 25.0, 2: 20.0, 3: 10.0},
+                (3, 2, 1, 0): {0: 12.0, 1: 22.0, 2: 28.0, 3: 30.0},
+            }
+        )
+        cluster = Cluster.homogeneous(2, 55.0)
+        hetero = opt_prune_heterogeneous(table, cluster)
+        homo = opt_prune(table, cluster)
+        assert hetero.score == pytest.approx(homo.score)
+
+    def test_infeasible_instance(self):
+        table = _table({(0,): {0: 100.0}})
+        result = opt_prune_heterogeneous(table, Cluster((10.0, 5.0)))
+        assert not result.feasible
+
+    def test_result_is_valid_partition(self):
+        table = _table(
+            {(0, 1, 2): {0: 20.0, 1: 20.0, 2: 20.0}}
+        )
+        cluster = Cluster((45.0, 25.0))
+        result = opt_prune_heterogeneous(table, cluster)
+        assert result.physical_plan is not None
+        assert result.physical_plan.covers([0, 1, 2])
+        assert result.algorithm == "OptPrune-hetero"
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_heterogeneous_optprune_matches_brute_force_property(data):
+    """Property: score equals unpruned enumeration on random instances."""
+    n_ops = data.draw(st.integers(2, 4), label="n_ops")
+    orders = [tuple(range(n_ops)), tuple(reversed(range(n_ops)))]
+    loads_by_plan = {
+        order: {
+            op: data.draw(st.floats(1.0, 40.0), label=f"l{order}{op}")
+            for op in range(n_ops)
+        }
+        for order in orders
+    }
+    table = _table(loads_by_plan)
+    n_nodes = data.draw(st.integers(1, 3), label="nodes")
+    capacities = tuple(
+        data.draw(st.floats(20.0, 120.0), label=f"cap{i}") for i in range(n_nodes)
+    )
+    cluster = Cluster(capacities)
+    result = opt_prune_heterogeneous(table, cluster)
+    assert result.score == pytest.approx(
+        _brute_force_score(table, cluster), abs=1e-9
+    )

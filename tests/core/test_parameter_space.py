@@ -1,0 +1,171 @@
+"""Tests for the parameter space, dimensions, and regions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Dimension, ParameterSpace, Region
+from repro.query import StatisticsEstimate
+
+
+class TestDimension:
+    def test_values_span_bounds(self):
+        dim = Dimension("x", 0.0, 1.0, 5)
+        assert dim.value(0) == 0.0
+        assert dim.value(4) == 1.0
+        assert dim.cell_width == pytest.approx(0.25)
+
+    def test_pinned_dimension(self):
+        dim = Dimension("x", 0.5, 0.5, 1)
+        assert dim.value(0) == 0.5
+        assert dim.cell_width == 0.0
+        assert dim.nearest_index(99.0) == 0
+
+    def test_out_of_range_index(self):
+        with pytest.raises(IndexError):
+            Dimension("x", 0.0, 1.0, 3).value(3)
+
+    def test_nearest_index_rounds_and_clamps(self):
+        dim = Dimension("x", 0.0, 1.0, 5)
+        assert dim.nearest_index(0.13) == 1  # nearer to 0.25's neighbour 0.25? -> 0.13/0.25=0.52 -> 1
+        assert dim.nearest_index(-5.0) == 0
+        assert dim.nearest_index(5.0) == 4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"name": "", "lo": 0.0, "hi": 1.0, "steps": 2},
+            {"name": "x", "lo": 1.0, "hi": 0.0, "steps": 2},
+            {"name": "x", "lo": 0.0, "hi": 1.0, "steps": 0},
+            {"name": "x", "lo": 0.0, "hi": 1.0, "steps": 1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Dimension(**kwargs)
+
+
+class TestFromEstimates:
+    def test_algorithm_1_bounds_and_level_scaled_steps(self):
+        est = StatisticsEstimate(
+            {"sel:0": 0.4, "rate": 100.0}, {"sel:0": 2, "rate": 3}
+        )
+        space = ParameterSpace.from_estimates(est, points_per_level=2)
+        by_name = {d.name: d for d in space.dimensions}
+        assert by_name["sel:0"].lo == pytest.approx(0.32)
+        assert by_name["sel:0"].hi == pytest.approx(0.48)
+        assert by_name["sel:0"].steps == 5  # 2·2 + 1
+        assert by_name["rate"].steps == 7  # 2·3 + 1
+
+    def test_exact_parameters_excluded(self):
+        est = StatisticsEstimate({"a": 1.0, "b": 2.0}, {"a": 1, "b": 0})
+        space = ParameterSpace.from_estimates(est)
+        assert space.names == ("a",)
+
+    def test_no_uncertain_parameters_rejected(self):
+        est = StatisticsEstimate({"a": 1.0})
+        with pytest.raises(ValueError, match="uncertain parameters"):
+            ParameterSpace.from_estimates(est)
+
+
+class TestParameterSpace:
+    def test_grid_iteration_counts(self, space_2d):
+        indices = list(space_2d.grid_indices())
+        assert len(indices) == space_2d.n_points
+        assert len(set(indices)) == len(indices)
+
+    def test_point_at_round_trip(self, space_2d):
+        for index in space_2d.grid_indices():
+            point = space_2d.point_at(index)
+            assert space_2d.nearest_index(point) == index
+
+    def test_point_at_wrong_arity(self, space_2d):
+        with pytest.raises(ValueError, match="components"):
+            space_2d.point_at((0,))
+
+    def test_duplicate_dimension_names_rejected(self):
+        dims = [Dimension("x", 0, 1, 2), Dimension("x", 0, 1, 2)]
+        with pytest.raises(ValueError, match="duplicate"):
+            ParameterSpace(dims)
+
+    def test_full_region_spans_space(self, space_2d):
+        region = space_2d.full_region()
+        assert region.n_points == space_2d.n_points
+        assert region.area_fraction == 1.0
+
+
+class TestRegion:
+    def test_corners(self, space_2d):
+        region = space_2d.full_region()
+        lo, hi = region.pnt_lo, region.pnt_hi
+        for dim in space_2d.dimensions:
+            assert lo[dim.name] == pytest.approx(dim.lo)
+            assert hi[dim.name] == pytest.approx(dim.hi)
+
+    def test_contains(self, space_2d):
+        region = Region(space_2d, (1, 1), (3, 4))
+        assert region.contains((2, 3))
+        assert not region.contains((0, 2))
+
+    def test_is_cell(self, space_2d):
+        assert Region(space_2d, (2, 2), (2, 2)).is_cell
+        assert not Region(space_2d, (2, 2), (2, 3)).is_cell
+
+    def test_invalid_bounds_rejected(self, space_2d):
+        with pytest.raises(ValueError, match="invalid bounds"):
+            Region(space_2d, (3, 0), (1, 0))
+        with pytest.raises(ValueError, match="invalid bounds"):
+            Region(space_2d, (0, 0), (0, 99))
+
+    def test_split_tiles_region_exactly(self, space_2d):
+        region = space_2d.full_region()
+        pieces = region.split_at((2, 3))
+        assert len(pieces) == 4
+        all_indices = [idx for piece in pieces for idx in piece.indices()]
+        assert sorted(all_indices) == sorted(region.indices())
+        assert len(set(all_indices)) == len(all_indices)
+
+    def test_split_at_edge_reduces_pieces(self, space_2d):
+        region = space_2d.full_region()
+        hi = region.hi
+        # Splitting at hi on dim 1 only divides dim 0.
+        pieces = region.split_at((2, hi[1]))
+        assert len(pieces) == 2
+
+    def test_split_outside_region_rejected(self, space_2d):
+        region = Region(space_2d, (0, 0), (2, 2))
+        with pytest.raises(ValueError, match="outside region"):
+            region.split_at((5, 5))
+
+    def test_non_dividing_split_rejected(self, space_2d):
+        cell = Region(space_2d, (1, 1), (1, 1))
+        with pytest.raises(ValueError, match="does not divide"):
+            cell.split_at((1, 1))
+
+    def test_can_split(self, space_2d):
+        assert space_2d.full_region().can_split()
+        assert not Region(space_2d, (0, 0), (0, 0)).can_split()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    shape=st.tuples(
+        st.integers(min_value=2, max_value=6), st.integers(min_value=2, max_value=6)
+    ),
+    data=st.data(),
+)
+def test_split_partition_property(shape, data):
+    """Property: any valid split tiles the region (disjoint + complete)."""
+    dims = [Dimension(f"d{i}", 0.0, 1.0, steps) for i, steps in enumerate(shape)]
+    space = ParameterSpace(dims)
+    region = space.full_region()
+    point = tuple(
+        data.draw(st.integers(min_value=0, max_value=s - 2), label=f"p{i}")
+        for i, s in enumerate(shape)
+    )
+    pieces = region.split_at(point)
+    everything = [idx for piece in pieces for idx in piece.indices()]
+    assert sorted(everything) == sorted(region.indices())
+    assert sum(p.n_points for p in pieces) == region.n_points

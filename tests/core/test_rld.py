@@ -1,0 +1,78 @@
+"""Tests for the end-to-end RLD optimizer facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Cluster, RLDConfig, RLDOptimizer
+
+
+@pytest.fixture
+def estimate(four_op_query):
+    return four_op_query.default_estimates({"sel:1": 1, "sel:2": 3, "rate": 2})
+
+
+class TestRLDConfig:
+    def test_defaults(self):
+        config = RLDConfig()
+        assert config.epsilon == 0.2
+        assert config.physical_algorithm == "optprune"
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="unknown physical_algorithm"):
+            RLDConfig(physical_algorithm="magic")
+
+
+class TestSolve:
+    def test_produces_feasible_solution(self, four_op_query, estimate):
+        cluster = Cluster.homogeneous(3, 400.0)
+        solution = RLDOptimizer(four_op_query, cluster).solve(estimate)
+        assert solution.feasible
+        assert len(solution.logical) >= 1
+        assert solution.physical.physical_plan.covers(four_op_query.operator_ids)
+
+    def test_summary_mentions_plans(self, four_op_query, estimate):
+        cluster = Cluster.homogeneous(3, 400.0)
+        solution = RLDOptimizer(four_op_query, cluster).solve(estimate)
+        text = solution.summary()
+        assert "logical plans" in text
+        assert "physical plan" in text
+
+    def test_supported_plans_subset_of_logical(self, four_op_query, estimate):
+        cluster = Cluster.homogeneous(3, 400.0)
+        solution = RLDOptimizer(four_op_query, cluster).solve(estimate)
+        assert set(solution.supported_plans) <= set(solution.logical.plans)
+
+    def test_greedy_algorithm_selectable(self, four_op_query, estimate):
+        cluster = Cluster.homogeneous(3, 400.0)
+        config = RLDConfig(physical_algorithm="greedy")
+        solution = RLDOptimizer(four_op_query, cluster, config=config).solve(estimate)
+        assert solution.physical.algorithm == "GreedyPhy"
+
+    def test_optprune_score_at_least_greedy(self, four_op_query, estimate):
+        cluster = Cluster.homogeneous(2, 260.0)
+        greedy = RLDOptimizer(
+            four_op_query, cluster, config=RLDConfig(physical_algorithm="greedy")
+        ).solve(estimate)
+        optimal = RLDOptimizer(
+            four_op_query, cluster, config=RLDConfig(physical_algorithm="optprune")
+        ).solve(estimate)
+        assert optimal.physical.score >= greedy.physical.score - 1e-12
+
+    def test_uses_query_defaults_without_estimate(self, four_op_query):
+        # No uncertainty declared → no space → a clear error.
+        cluster = Cluster.homogeneous(3, 400.0)
+        with pytest.raises(ValueError, match="uncertain parameters"):
+            RLDOptimizer(four_op_query, cluster).solve()
+
+    def test_cluster_recorded_in_solution(self, four_op_query, estimate):
+        cluster = Cluster.homogeneous(3, 400.0)
+        solution = RLDOptimizer(four_op_query, cluster).solve(estimate)
+        assert solution.cluster is cluster
+
+    def test_deterministic(self, four_op_query, estimate):
+        cluster = Cluster.homogeneous(3, 400.0)
+        a = RLDOptimizer(four_op_query, cluster).solve(estimate)
+        b = RLDOptimizer(four_op_query, cluster).solve(estimate)
+        assert a.logical.plans == b.logical.plans
+        assert a.physical.physical_plan == b.physical.physical_plan

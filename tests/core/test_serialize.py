@@ -1,0 +1,115 @@
+"""Tests for JSON round-tripping of compiled solutions."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import (
+    Cluster,
+    RLDConfig,
+    RLDOptimizer,
+    load_solution,
+    save_solution,
+    solution_from_dict,
+    solution_to_dict,
+)
+from repro.core.serialize import FORMAT_VERSION
+from repro.workloads import build_q1
+
+
+@pytest.fixture(scope="module")
+def solution():
+    query = build_q1()
+    estimate = query.default_estimates({"sel:1": 3, "sel:3": 3, "rate": 2})
+    cluster = Cluster.homogeneous(4, 380.0)
+    return RLDOptimizer(query, cluster, config=RLDConfig(epsilon=0.2)).solve(estimate)
+
+
+class TestDictRoundTrip:
+    def test_dict_is_json_compatible(self, solution):
+        payload = solution_to_dict(solution)
+        text = json.dumps(payload)  # raises on non-primitive content
+        assert json.loads(text) == payload
+
+    def test_query_survives(self, solution):
+        restored = solution_from_dict(solution_to_dict(solution))
+        assert restored.query.name == solution.query.name
+        assert restored.query.operator_ids == solution.query.operator_ids
+        for op_id in solution.query.operator_ids:
+            original = solution.query.operator(op_id)
+            loaded = restored.query.operator(op_id)
+            assert loaded.cost_per_tuple == original.cost_per_tuple
+            assert loaded.selectivity == original.selectivity
+            assert loaded.state_size == original.state_size
+
+    def test_space_survives(self, solution):
+        restored = solution_from_dict(solution_to_dict(solution))
+        assert restored.space.names == solution.space.names
+        assert restored.space.shape == solution.space.shape
+        for a, b in zip(restored.space.dimensions, solution.space.dimensions):
+            assert a.lo == pytest.approx(b.lo)
+            assert a.hi == pytest.approx(b.hi)
+
+    def test_plans_weights_and_loads_survive(self, solution):
+        restored = solution_from_dict(solution_to_dict(solution))
+        assert restored.load_table.plans == solution.load_table.plans
+        for i, plan in enumerate(solution.load_table.plans):
+            assert restored.load_table.weight_of(plan) == pytest.approx(
+                solution.load_table.weight_of(plan)
+            )
+            for op_id in solution.load_table.operator_ids:
+                assert restored.load_table.load(i, op_id) == pytest.approx(
+                    solution.load_table.load(i, op_id)
+                )
+
+    def test_physical_plan_survives(self, solution):
+        restored = solution_from_dict(solution_to_dict(solution))
+        assert restored.physical.physical_plan == solution.physical.physical_plan
+        assert restored.physical.score == pytest.approx(solution.physical.score)
+        assert restored.supported_plans == solution.supported_plans
+
+    def test_partitioning_diagnostics_survive(self, solution):
+        restored = solution_from_dict(solution_to_dict(solution))
+        assert (
+            restored.partitioning.optimizer_calls
+            == solution.partitioning.optimizer_calls
+        )
+        assert restored.logical.discoveries == solution.logical.discoveries
+
+    def test_restored_solution_is_runnable(self, solution):
+        # The acid test: a restored solution drives the runtime strategy.
+        from repro.engine import StreamSimulator
+        from repro.runtime import RLDStrategy
+        from repro.workloads import stock_workload
+
+        restored = solution_from_dict(solution_to_dict(solution))
+        strategy = RLDStrategy(restored)
+        workload = stock_workload(restored.query, uncertainty_level=3)
+        report = StreamSimulator(
+            restored.query, restored.cluster, strategy, workload, seed=3
+        ).run(30.0)
+        assert report.batches_completed > 0
+
+    def test_version_mismatch_rejected(self, solution):
+        payload = solution_to_dict(solution)
+        payload["format_version"] = FORMAT_VERSION + 1
+        with pytest.raises(ValueError, match="format version"):
+            solution_from_dict(payload)
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, solution, tmp_path):
+        path = tmp_path / "solution.json"
+        save_solution(solution, path)
+        restored = load_solution(path)
+        assert restored.physical.physical_plan == solution.physical.physical_plan
+        assert restored.load_table.plans == solution.load_table.plans
+
+    def test_file_is_readable_json(self, solution, tmp_path):
+        path = tmp_path / "solution.json"
+        save_solution(solution, path)
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == FORMAT_VERSION
+        assert payload["query"]["name"] == "Q1"

@@ -1,0 +1,43 @@
+"""Tests for tuple batches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Batch
+from repro.query import LogicalPlan
+
+
+class TestBatch:
+    def test_size_defaults_to_initial(self):
+        batch = Batch(batch_id=0, created_at=0.0, initial_size=100.0)
+        assert batch.size == 100.0
+
+    def test_advance_thins_and_steps(self):
+        batch = Batch(0, 0.0, 100.0, plan=LogicalPlan((2, 0, 1)))
+        assert batch.next_op == 2
+        batch.advance(0.5)
+        assert batch.size == 50.0
+        assert batch.next_op == 0
+        batch.advance(2.0)  # join fan-out
+        assert batch.size == 100.0
+        batch.advance(0.1)
+        assert batch.done
+        assert batch.next_op is None
+
+    def test_next_op_without_plan_raises(self):
+        batch = Batch(0, 0.0, 10.0)
+        with pytest.raises(RuntimeError, match="no plan"):
+            _ = batch.next_op
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError, match="batch size"):
+            Batch(0, 0.0, 0.0)
+
+    def test_negative_selectivity_rejected(self):
+        batch = Batch(0, 0.0, 10.0, plan=LogicalPlan((0,)))
+        with pytest.raises(ValueError, match="selectivity"):
+            batch.advance(-0.1)
+
+    def test_not_done_without_plan(self):
+        assert not Batch(0, 0.0, 10.0).done

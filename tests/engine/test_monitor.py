@@ -1,0 +1,66 @@
+"""Tests for the statistics monitor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import StatisticsMonitor
+from repro.workloads import ConstantRate, RegimeSwitchSelectivity, Workload
+
+
+@pytest.fixture
+def workload(three_op_query):
+    levels = {op.op_id: 2 for op in three_op_query.operators}
+    return Workload(
+        three_op_query,
+        rate_profile=ConstantRate(1.0),
+        selectivity_profile=RegimeSwitchSelectivity(levels, period=10.0),
+    )
+
+
+class TestMonitor:
+    def test_oracle_monitor_reports_truth(self, three_op_query, workload):
+        monitor = StatisticsMonitor(three_op_query, workload, noise=0.0, smoothing=1.0)
+        point = monitor.sample(2.5)
+        truth = workload.stat_point(2.5)
+        for name in truth:
+            assert point[name] == pytest.approx(truth[name])
+
+    def test_current_before_sample_raises(self, three_op_query, workload):
+        monitor = StatisticsMonitor(three_op_query, workload)
+        with pytest.raises(RuntimeError, match="no samples"):
+            monitor.current()
+
+    def test_noise_is_seeded(self, three_op_query, workload):
+        a = StatisticsMonitor(three_op_query, workload, noise=0.1, seed=4)
+        b = StatisticsMonitor(three_op_query, workload, noise=0.1, seed=4)
+        assert dict(a.sample(1.0)) == dict(b.sample(1.0))
+
+    def test_smoothing_blends_history(self, three_op_query, workload):
+        monitor = StatisticsMonitor(
+            three_op_query, workload, noise=0.0, smoothing=0.5
+        )
+        monitor.sample(0.0)
+        first_rate = monitor.current()["rate"]
+        # Truth is constant, so smoothing converges to it.
+        monitor.sample(1.0)
+        assert monitor.current()["rate"] == pytest.approx(first_rate)
+
+    def test_sample_counter(self, three_op_query, workload):
+        monitor = StatisticsMonitor(three_op_query, workload)
+        monitor.sample(0.0)
+        monitor.sample(1.0)
+        assert monitor.samples_taken == 2
+
+    def test_covers_all_operators_and_rate(self, three_op_query, workload):
+        monitor = StatisticsMonitor(three_op_query, workload, noise=0.0)
+        point = monitor.sample(0.0)
+        assert set(point) == {"rate", "sel:0", "sel:1", "sel:2"}
+
+    def test_invalid_parameters(self, three_op_query, workload):
+        with pytest.raises(ValueError):
+            StatisticsMonitor(three_op_query, workload, noise=-0.1)
+        with pytest.raises(ValueError):
+            StatisticsMonitor(three_op_query, workload, smoothing=0.0)
+        with pytest.raises(ValueError):
+            StatisticsMonitor(three_op_query, workload, smoothing=1.5)

@@ -1,0 +1,98 @@
+"""Tests for the inter-node network model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Cluster, PhysicalPlan
+from repro.engine import NetworkModel, StreamSimulator
+from repro.engine.system import RoutingDecision
+from repro.query import LogicalPlan
+from repro.workloads import ConstantRate, Workload
+
+
+class FixedStrategy:
+    name = "fixed"
+
+    def __init__(self, plan, placement):
+        self._plan = plan
+        self._placement = placement
+
+    @property
+    def placement(self):
+        return self._placement
+
+    def route(self, time, stats):
+        return RoutingDecision(plan=self._plan)
+
+    def on_tick(self, simulator, time):
+        pass
+
+
+class TestNetworkModel:
+    def test_transfer_time_formula(self):
+        model = NetworkModel(
+            latency_seconds=0.001,
+            bytes_per_tuple=100.0,
+            bandwidth_bytes_per_second=1e6,
+        )
+        # 1 ms + 50·100/1e6 s = 1 ms + 5 ms.
+        assert model.transfer_seconds(50.0) == pytest.approx(0.006)
+
+    def test_zero_network_is_free(self):
+        model = NetworkModel.zero()
+        assert model.transfer_seconds(1e6) == pytest.approx(0.0, abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkModel(latency_seconds=-0.1)
+        with pytest.raises(ValueError):
+            NetworkModel(bytes_per_tuple=0.0)
+        with pytest.raises(ValueError):
+            NetworkModel.zero().transfer_seconds(-1.0)
+
+
+class TestSimulatorIntegration:
+    def _run(self, query, placement, network):
+        cluster = Cluster.homogeneous(3, 500.0)
+        strategy = FixedStrategy(LogicalPlan((2, 1, 0)), placement)
+        workload = Workload(query, rate_profile=ConstantRate(1.0))
+        sim = StreamSimulator(
+            query, cluster, strategy, workload, seed=3, network=network
+        )
+        return sim.run(60.0)
+
+    def test_colocated_pipeline_pays_nothing(self, three_op_query):
+        placement = PhysicalPlan(
+            (frozenset({0, 1, 2}), frozenset(), frozenset())
+        )
+        report = self._run(
+            three_op_query, placement, NetworkModel(latency_seconds=0.1)
+        )
+        assert report.network_seconds == 0.0
+
+    def test_cross_node_pipeline_pays_per_hop(self, three_op_query):
+        placement = PhysicalPlan(
+            (frozenset({2}), frozenset({1}), frozenset({0}))
+        )
+        model = NetworkModel(latency_seconds=0.01)
+        report = self._run(three_op_query, placement, model)
+        # Two hops per completed batch (2→1, 1→0), each ≥ the latency.
+        assert report.network_seconds >= report.batches_completed * 2 * 0.01
+
+    def test_default_is_free_network(self, three_op_query):
+        placement = PhysicalPlan(
+            (frozenset({2}), frozenset({1}), frozenset({0}))
+        )
+        report = self._run(three_op_query, placement, None)
+        assert report.network_seconds == 0.0
+
+    def test_network_raises_latency(self, three_op_query):
+        placement = PhysicalPlan(
+            (frozenset({2}), frozenset({1}), frozenset({0}))
+        )
+        free = self._run(three_op_query, placement, None)
+        slow = self._run(
+            three_op_query, placement, NetworkModel(latency_seconds=0.2)
+        )
+        assert slow.avg_tuple_latency_ms > free.avg_tuple_latency_ms + 300.0

@@ -1,0 +1,115 @@
+"""Property tests on whole simulation runs.
+
+Conservation and ordering invariants that must hold for *any* seed,
+rate, and placement — the safety net under every runtime benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Cluster, PhysicalPlan
+from repro.engine import StreamSimulator
+from repro.engine.system import RoutingDecision
+from repro.query import LogicalPlan, Operator, Query, StreamSchema
+from repro.workloads import ConstantRate, Workload
+
+
+def _query() -> Query:
+    operators = (
+        Operator(op_id=0, name="op1", cost_per_tuple=3.0, selectivity=0.6),
+        Operator(op_id=1, name="op2", cost_per_tuple=2.0, selectivity=0.5),
+        Operator(op_id=2, name="op3", cost_per_tuple=1.0, selectivity=0.4),
+    )
+    return Query("stock3", operators, (StreamSchema("S", base_rate=100.0),))
+
+
+class FixedStrategy:
+    name = "fixed"
+
+    def __init__(self, plan, placement):
+        self._plan = plan
+        self._placement = placement
+
+    @property
+    def placement(self):
+        return self._placement
+
+    def route(self, time, stats):
+        return RoutingDecision(plan=self._plan)
+
+    def on_tick(self, simulator, time):
+        pass
+
+
+def _run(query, *, seed, rate_ratio, capacity, duration=40.0):
+    cluster = Cluster.homogeneous(2, capacity)
+    placement = PhysicalPlan((frozenset({0, 2}), frozenset({1})))
+    strategy = FixedStrategy(LogicalPlan((2, 1, 0)), placement)
+    workload = Workload(query, rate_profile=ConstantRate(rate_ratio))
+    sim = StreamSimulator(query, cluster, strategy, workload, seed=seed)
+    return sim.run(duration)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    rate_ratio=st.floats(0.2, 3.0),
+    capacity=st.floats(50.0, 1000.0),
+)
+def test_conservation_properties(seed, rate_ratio, capacity):
+    """Completion, tuple, and latency accounting always balances."""
+    report = _run(_query(), seed=seed, rate_ratio=rate_ratio, capacity=capacity)
+    # No batch completes that was never injected.
+    assert 0 <= report.batches_completed <= report.batches_injected
+    # Input accounting is exact.
+    assert report.tuples_in == pytest.approx(report.batches_injected * 100.0)
+    # Constant selectivities: every completed batch outputs the same
+    # product of selectivities.
+    per_batch = 100.0 * 0.6 * 0.5 * 0.4
+    assert report.tuples_out == pytest.approx(
+        report.batches_completed * per_batch, rel=1e-9
+    )
+    # Node busy time never exceeds scheduled processing time.
+    assert sum(report.node_busy_seconds) == pytest.approx(
+        report.processing_seconds, rel=1e-9
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_latency_at_least_pure_service_time(seed):
+    """No batch can finish faster than its zero-queueing service time."""
+    capacity = 500.0
+    report = _run(_query(), seed=seed, rate_ratio=0.3, capacity=capacity)
+    if report.batches_completed == 0:
+        return
+    # Service for 100 tuples through ops 2,1,0 at σ = (0.4, 0.5):
+    # (100·1 + 40·2 + 20·3) / 500 = 0.48 s.
+    floor_ms = 1000.0 * (100 * 1 + 40 * 2 + 20 * 3) / capacity
+    assert report.latency_percentile_ms(0) >= floor_ms - 1e-6
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    rate_ratio=st.floats(0.2, 2.0),
+)
+def test_same_seed_reproduces_exactly(seed, rate_ratio):
+    a = _run(_query(), seed=seed, rate_ratio=rate_ratio, capacity=300.0)
+    b = _run(_query(), seed=seed, rate_ratio=rate_ratio, capacity=300.0)
+    assert a.batches_injected == b.batches_injected
+    assert a.tuples_out == pytest.approx(b.tuples_out)
+    assert a.avg_tuple_latency_ms == pytest.approx(b.avg_tuple_latency_ms)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_higher_rate_never_reduces_injected_batches(seed):
+    low = _run(_query(), seed=seed, rate_ratio=0.5, capacity=400.0)
+    high = _run(_query(), seed=seed, rate_ratio=2.0, capacity=400.0)
+    # Same seed: the high-rate run compresses the same exponential draws,
+    # so it injects at least as many batches.
+    assert high.batches_injected >= low.batches_injected

@@ -1,0 +1,168 @@
+"""Tests for the stream simulator (conservation, latency, migration)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Cluster, PhysicalPlan
+from repro.engine import RoutingDecision, StreamSimulator
+from repro.query import LogicalPlan
+from repro.workloads import ConstantRate, Workload
+
+
+class FixedPlanStrategy:
+    """Minimal strategy: one plan, one placement, no adaptation."""
+
+    name = "fixed"
+
+    def __init__(self, plan: LogicalPlan, placement: PhysicalPlan, overhead=0.0):
+        self._plan = plan
+        self._placement = placement
+        self._overhead = overhead
+        self.ticks = 0
+
+    @property
+    def placement(self) -> PhysicalPlan:
+        return self._placement
+
+    def route(self, time, stats) -> RoutingDecision:
+        return RoutingDecision(plan=self._plan, overhead_seconds=self._overhead)
+
+    def on_tick(self, simulator, time) -> None:
+        self.ticks += 1
+
+
+@pytest.fixture
+def scenario(three_op_query):
+    cluster = Cluster.homogeneous(2, 500.0)
+    placement = PhysicalPlan((frozenset({0}), frozenset({1, 2})))
+    plan = LogicalPlan((2, 1, 0))
+    workload = Workload(three_op_query, rate_profile=ConstantRate(1.0))
+    return three_op_query, cluster, placement, plan, workload
+
+
+class TestSimulation:
+    def test_conservation_and_counts(self, scenario):
+        query, cluster, placement, plan, workload = scenario
+        strategy = FixedPlanStrategy(plan, placement)
+        sim = StreamSimulator(query, cluster, strategy, workload, seed=3)
+        report = sim.run(60.0)
+        assert report.batches_injected > 0
+        assert report.batches_completed <= report.batches_injected
+        assert report.tuples_in == pytest.approx(report.batches_injected * 100.0)
+        # Output = input · Π σ = 100 · 0.6·0.5·0.4 per batch = 12 per batch.
+        per_batch_out = 100.0 * 0.6 * 0.5 * 0.4
+        assert report.tuples_out == pytest.approx(
+            report.batches_completed * per_batch_out, rel=1e-9
+        )
+
+    def test_latency_at_least_service_time(self, scenario):
+        query, cluster, placement, plan, workload = scenario
+        strategy = FixedPlanStrategy(plan, placement)
+        sim = StreamSimulator(query, cluster, strategy, workload, seed=3)
+        report = sim.run(60.0)
+        # Minimum possible latency: batch work through both nodes with no
+        # queueing: (100·1)/500 + (40·2 + 20·3)/500 = 0.2 + 0.28 s.
+        assert report.avg_tuple_latency_ms >= 200.0
+
+    def test_deterministic_given_seed(self, scenario):
+        query, cluster, placement, plan, workload = scenario
+        r1 = StreamSimulator(
+            query, cluster, FixedPlanStrategy(plan, placement), workload, seed=5
+        ).run(30.0)
+        r2 = StreamSimulator(
+            query, cluster, FixedPlanStrategy(plan, placement), workload, seed=5
+        ).run(30.0)
+        assert r1.batches_injected == r2.batches_injected
+        assert r1.avg_tuple_latency_ms == pytest.approx(r2.avg_tuple_latency_ms)
+        assert r1.tuples_out == pytest.approx(r2.tuples_out)
+
+    def test_overhead_accumulates(self, scenario):
+        query, cluster, placement, plan, workload = scenario
+        strategy = FixedPlanStrategy(plan, placement, overhead=0.01)
+        sim = StreamSimulator(query, cluster, strategy, workload, seed=3)
+        report = sim.run(30.0)
+        assert report.overhead_seconds == pytest.approx(
+            report.batches_injected * 0.01
+        )
+
+    def test_ticks_fire(self, scenario):
+        query, cluster, placement, plan, workload = scenario
+        strategy = FixedPlanStrategy(plan, placement)
+        sim = StreamSimulator(query, cluster, strategy, workload, seed=3, tick_period=5.0)
+        sim.run(30.0)
+        assert strategy.ticks == 6  # t = 5, 10, ..., 30
+
+    def test_overload_stalls_completions(self, three_op_query):
+        # Capacity far below offered load: most batches never finish.
+        cluster = Cluster.homogeneous(1, 20.0)
+        placement = PhysicalPlan((frozenset({0, 1, 2}),))
+        plan = LogicalPlan((2, 1, 0))
+        workload = Workload(three_op_query, rate_profile=ConstantRate(1.0))
+        sim = StreamSimulator(
+            query=three_op_query,
+            cluster=cluster,
+            strategy=FixedPlanStrategy(plan, placement),
+            workload=workload,
+            seed=3,
+        )
+        report = sim.run(60.0)
+        assert report.batches_completed < report.batches_injected
+
+    def test_report_before_run_raises(self, scenario):
+        query, cluster, placement, plan, workload = scenario
+        sim = StreamSimulator(
+            query, cluster, FixedPlanStrategy(plan, placement), workload
+        )
+        with pytest.raises(RuntimeError, match="run\\(\\)"):
+            _ = sim.report
+
+
+class TestMigration:
+    def test_migrate_moves_operator_and_counts(self, scenario):
+        query, cluster, placement, plan, workload = scenario
+
+        class MigratingStrategy(FixedPlanStrategy):
+            def on_tick(self, simulator, time):
+                super().on_tick(simulator, time)
+                if self.ticks == 1:
+                    simulator.migrate(0, 1)
+
+        strategy = MigratingStrategy(plan, placement)
+        sim = StreamSimulator(query, cluster, strategy, workload, seed=3)
+        report = sim.run(30.0)
+        assert report.migrations == 1
+        assert report.migration_stall_seconds > 0
+        assert sim.current_placement[0] == 1
+
+    def test_migrate_to_same_node_is_free(self, scenario):
+        query, cluster, placement, plan, workload = scenario
+
+        class NoopMigration(FixedPlanStrategy):
+            def on_tick(self, simulator, time):
+                super().on_tick(simulator, time)
+                if self.ticks == 1:
+                    assert simulator.migrate(0, 0) == 0.0
+
+        sim = StreamSimulator(
+            query, cluster, NoopMigration(plan, placement), workload, seed=3
+        )
+        report = sim.run(20.0)
+        assert report.migrations == 0
+
+    def test_migrate_to_unknown_node_rejected(self, scenario):
+        query, cluster, placement, plan, workload = scenario
+
+        class BadMigration(FixedPlanStrategy):
+            failed = False
+
+            def on_tick(self, simulator, time):
+                if not self.failed:
+                    with pytest.raises(ValueError, match="no node"):
+                        simulator.migrate(0, 99)
+                    type(self).failed = True
+
+        StreamSimulator(
+            query, cluster, BadMigration(plan, placement), workload, seed=3
+        ).run(10.0)
+        assert BadMigration.failed

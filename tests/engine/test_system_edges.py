@@ -1,0 +1,101 @@
+"""Edge-case tests for the simulator's configuration surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Cluster, PhysicalPlan, RLDConfig, RLDOptimizer
+from repro.engine import StreamSimulator
+from repro.engine.system import RoutingDecision
+from repro.query import LogicalPlan
+from repro.workloads import ConstantRate, Workload
+
+
+class FixedStrategy:
+    name = "fixed"
+
+    def __init__(self, plan, placement):
+        self._plan = plan
+        self._placement = placement
+
+    @property
+    def placement(self):
+        return self._placement
+
+    def route(self, time, stats):
+        return RoutingDecision(plan=self._plan)
+
+    def on_tick(self, simulator, time):
+        pass
+
+
+@pytest.fixture
+def basic(three_op_query):
+    placement = PhysicalPlan((frozenset({0, 1, 2}),))
+    strategy = FixedStrategy(LogicalPlan((2, 1, 0)), placement)
+    workload = Workload(three_op_query, rate_profile=ConstantRate(1.0))
+    return three_op_query, strategy, workload
+
+
+class TestConfigurationEdges:
+    def test_monitor_period_longer_than_duration(self, basic):
+        query, strategy, workload = basic
+        sim = StreamSimulator(
+            query, Cluster.homogeneous(1, 800.0), strategy, workload,
+            seed=2, monitor_period=1000.0,
+        )
+        report = sim.run(10.0)
+        assert report.batches_injected >= 0  # ran without scheduling errors
+
+    def test_heterogeneous_cluster_runs(self, three_op_query):
+        placement = PhysicalPlan((frozenset({0}), frozenset({1, 2})))
+        strategy = FixedStrategy(LogicalPlan((2, 1, 0)), placement)
+        workload = Workload(three_op_query, rate_profile=ConstantRate(1.0))
+        cluster = Cluster((600.0, 300.0))
+        report = StreamSimulator(
+            three_op_query, cluster, strategy, workload, seed=2
+        ).run(30.0)
+        assert report.batches_completed > 0
+        assert len(report.node_busy_seconds) == 2
+
+    def test_invalid_parameters_rejected(self, basic):
+        query, strategy, workload = basic
+        cluster = Cluster.homogeneous(1, 500.0)
+        with pytest.raises(ValueError):
+            StreamSimulator(query, cluster, strategy, workload, batch_size=0.0)
+        with pytest.raises(ValueError):
+            StreamSimulator(query, cluster, strategy, workload, tick_period=0.0)
+        sim = StreamSimulator(query, cluster, strategy, workload)
+        with pytest.raises(ValueError):
+            sim.run(0.0)
+
+    def test_fractional_batch_size(self, basic):
+        query, strategy, workload = basic
+        sim = StreamSimulator(
+            query, Cluster.homogeneous(1, 800.0), strategy, workload,
+            seed=2, batch_size=33.5,
+        )
+        report = sim.run(20.0)
+        assert report.tuples_in == pytest.approx(report.batches_injected * 33.5)
+
+    def test_placement_missing_operator_rejected(self, three_op_query):
+        placement = PhysicalPlan((frozenset({0, 1}),))  # op2 unplaced
+        strategy = FixedStrategy(LogicalPlan((2, 1, 0)), placement)
+        workload = Workload(three_op_query)
+        with pytest.raises(KeyError):
+            StreamSimulator(
+                three_op_query, Cluster.homogeneous(1, 500.0), strategy, workload
+            )
+
+
+class TestRLDExhaustiveConfig:
+    def test_exhaustive_physical_algorithm_via_facade(self, four_op_query):
+        estimate = four_op_query.default_estimates({"sel:1": 1, "sel:2": 3})
+        cluster = Cluster.homogeneous(3, 400.0)
+        config = RLDConfig(physical_algorithm="exhaustive")
+        solution = RLDOptimizer(four_op_query, cluster, config=config).solve(estimate)
+        assert solution.physical.algorithm == "ES-phy"
+        optimal = RLDOptimizer(
+            four_op_query, cluster, config=RLDConfig(physical_algorithm="optprune")
+        ).solve(estimate)
+        assert solution.physical.score == pytest.approx(optimal.physical.score)

@@ -1,0 +1,98 @@
+"""Tests for simulation tracing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Cluster, PhysicalPlan
+from repro.engine import SimulationTrace, StreamSimulator, TraceEvent
+from repro.engine.system import RoutingDecision
+from repro.query import LogicalPlan
+from repro.workloads import ConstantRate, Workload
+
+
+class FixedStrategy:
+    name = "fixed"
+
+    def __init__(self, plan, placement):
+        self._plan = plan
+        self._placement = placement
+
+    @property
+    def placement(self):
+        return self._placement
+
+    def route(self, time, stats):
+        return RoutingDecision(plan=self._plan)
+
+    def on_tick(self, simulator, time):
+        if simulator.now > 20.0 and simulator.current_placement[0] == 0:
+            simulator.migrate(0, 1)
+
+
+@pytest.fixture
+def traced_run(three_op_query):
+    cluster = Cluster.homogeneous(2, 500.0)
+    placement = PhysicalPlan((frozenset({0}), frozenset({1, 2})))
+    strategy = FixedStrategy(LogicalPlan((2, 1, 0)), placement)
+    workload = Workload(three_op_query, rate_profile=ConstantRate(1.0))
+    trace = SimulationTrace()
+    sim = StreamSimulator(
+        three_op_query, cluster, strategy, workload, seed=3, trace=trace
+    )
+    report = sim.run(60.0)
+    return trace, report
+
+
+class TestSimulationTrace:
+    def test_event_counts_match_report(self, traced_run):
+        trace, report = traced_run
+        summary = trace.summary()
+        assert summary["arrival"] == report.batches_injected
+        assert summary["complete"] == report.batches_completed
+        # Completed batches contribute 3 stages each; in-flight batches
+        # may have started some stages too.
+        assert summary["stage"] >= report.batches_completed * 3
+        assert summary["migration"] == report.migrations
+
+    def test_batch_journey_is_ordered_and_complete(self, traced_run):
+        trace, _ = traced_run
+        journey = trace.batch_journey(0)
+        kinds = [event.kind for event in journey]
+        assert kinds[0] == "arrival"
+        assert kinds[-1] == "complete"
+        assert kinds.count("stage") == 3
+        times = [event.time for event in journey]
+        assert times == sorted(times)
+
+    def test_stage_events_follow_plan_order(self, traced_run):
+        trace, _ = traced_run
+        stages = [e.op_id for e in trace.filter(kind="stage", batch_id=0)]
+        assert stages == [2, 1, 0]
+
+    def test_filter_by_op(self, traced_run):
+        trace, report = traced_run
+        op0_stages = list(trace.filter(kind="stage", op_id=0))
+        assert len(op0_stages) == report.batches_completed
+
+    def test_migration_recorded_with_detail(self, traced_run):
+        trace, report = traced_run
+        migrations = list(trace.filter(kind="migration"))
+        assert len(migrations) == report.migrations == 1
+        assert migrations[0].op_id == 0
+        assert migrations[0].node == 1
+        assert "pause=" in migrations[0].detail
+
+
+class TestBoundedMemory:
+    def test_cap_drops_extra_events(self):
+        trace = SimulationTrace(max_events=3)
+        for i in range(5):
+            trace.record(TraceEvent(time=float(i), kind="arrival", batch_id=i))
+        assert len(trace) == 3
+        assert trace.dropped == 2
+        assert "dropped" in trace.summary()
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            SimulationTrace(max_events=0)

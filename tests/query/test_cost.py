@@ -1,0 +1,176 @@
+"""Tests for the plan cost model and cost-surface fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query import (
+    LogicalPlan,
+    Operator,
+    PlanCostModel,
+    Query,
+    StatPoint,
+    StreamSchema,
+    fit_cost_surface,
+    multilinear_features,
+)
+from repro.query.cost import surface_for_plan
+
+
+@pytest.fixture
+def model(three_op_query) -> PlanCostModel:
+    return PlanCostModel(three_op_query)
+
+
+class TestPlanCost:
+    def test_hand_computed_cost(self, model):
+        # Plan op0->op1->op2 at defaults: rate=100, c=(3,2,1), σ=(0.6,0.5,0.4)
+        # cost = 100·(3 + 0.6·2 + 0.6·0.5·1) = 100·4.5 = 450
+        plan = LogicalPlan((0, 1, 2))
+        assert model.plan_cost(plan, {}) == pytest.approx(450.0)
+
+    def test_point_overrides_defaults(self, model):
+        plan = LogicalPlan((0, 1, 2))
+        cost = model.plan_cost(plan, StatPoint({"sel:0": 1.0, "rate": 10.0}))
+        # 10·(3 + 1·2 + 1·0.5·1) = 55
+        assert cost == pytest.approx(55.0)
+
+    def test_cheaper_to_run_selective_cheap_op_first(self, model):
+        # op2 (c=1, σ=0.4) first beats op0 (c=3, σ=0.6) first.
+        point = {}
+        assert model.plan_cost(LogicalPlan((2, 1, 0)), point) < model.plan_cost(
+            LogicalPlan((0, 1, 2)), point
+        )
+
+    def test_operator_load_decomposition(self, model):
+        plan = LogicalPlan((2, 1, 0))
+        point = StatPoint({"rate": 100.0})
+        loads = model.operator_loads(plan, point)
+        assert sum(loads.values()) == pytest.approx(model.plan_cost(plan, point))
+        assert model.operator_load(plan, 0, point) == pytest.approx(loads[0])
+
+    def test_first_operator_load_is_rate_times_cost(self, model):
+        plan = LogicalPlan((1, 0, 2))
+        load = model.operator_load(plan, 1, StatPoint({"rate": 50.0}))
+        assert load == pytest.approx(50.0 * 2.0)
+
+    def test_cost_monotone_in_each_dimension(self, model):
+        # §4.2 Principle 1: cost increases along each dimension.
+        plan = LogicalPlan((0, 1, 2))
+        base = StatPoint({"sel:0": 0.5, "sel:1": 0.5, "rate": 100.0})
+        c0 = model.plan_cost(plan, base)
+        assert model.plan_cost(plan, base.replacing(sel__0=0.6)) > c0
+        assert model.plan_cost(plan, base.replacing(sel__1=0.6)) > c0
+        assert model.plan_cost(plan, base.replacing(rate=120.0)) > c0
+
+
+class TestGradient:
+    def test_gradient_matches_finite_differences(self, model):
+        plan = LogicalPlan((0, 1, 2))
+        point = StatPoint({"sel:0": 0.5, "sel:2": 0.7, "rate": 90.0})
+        grads = model.gradient(plan, point)
+        h = 1e-6
+        for name in point:
+            bumped = point.updated({name: point[name] + h})
+            fd = (model.plan_cost(plan, bumped) - model.plan_cost(plan, point)) / h
+            assert grads[name] == pytest.approx(fd, rel=1e-4), name
+
+    def test_gradient_only_for_present_params(self, model):
+        plan = LogicalPlan((0, 1, 2))
+        grads = model.gradient(plan, StatPoint({"sel:1": 0.5}))
+        assert set(grads) == {"sel:1"}
+
+    def test_last_operator_selectivity_has_zero_gradient(self, model):
+        # σ of the last operator never multiplies any cost term.
+        plan = LogicalPlan((0, 1, 2))
+        grads = model.gradient(plan, StatPoint({"sel:2": 0.4}))
+        assert grads["sel:2"] == pytest.approx(0.0)
+
+    def test_slope_is_gradient_norm(self, model):
+        plan = LogicalPlan((0, 1, 2))
+        point = StatPoint({"sel:0": 0.5, "sel:1": 0.6})
+        grads = model.gradient(plan, point)
+        expected = np.sqrt(sum(g * g for g in grads.values()))
+        assert model.slope(plan, point) == pytest.approx(expected)
+
+
+class TestMultilinearFeatures:
+    def test_two_dims(self):
+        feats = multilinear_features([2.0, 3.0])
+        assert feats.tolist() == [1.0, 2.0, 3.0, 6.0]
+
+    def test_feature_count_is_power_of_two(self):
+        assert len(multilinear_features([1.0] * 4)) == 16
+
+    def test_zero_dims(self):
+        assert multilinear_features([]).tolist() == [1.0]
+
+
+class TestSurfaceFitting:
+    def test_exact_fit_of_multilinear_cost(self, model, three_op_query):
+        plan = LogicalPlan((0, 1, 2))
+        dims = ("sel:0", "sel:1")
+        grid = [
+            StatPoint({"sel:0": a, "sel:1": b})
+            for a in (0.3, 0.5, 0.7)
+            for b in (0.2, 0.5, 0.8)
+        ]
+        surface = surface_for_plan(model, plan, dims, grid)
+        probe = StatPoint({"sel:0": 0.44, "sel:1": 0.61})
+        assert surface.evaluate(probe) == pytest.approx(
+            model.plan_cost(plan, probe), rel=1e-9
+        )
+
+    def test_surface_gradient_matches_model(self, model):
+        plan = LogicalPlan((2, 1, 0))
+        dims = ("sel:1", "sel:2")
+        grid = [
+            StatPoint({"sel:1": a, "sel:2": b})
+            for a in (0.3, 0.6)
+            for b in (0.3, 0.6)
+        ]
+        surface = surface_for_plan(model, plan, dims, grid)
+        probe = StatPoint({"sel:1": 0.5, "sel:2": 0.5})
+        model_grads = model.gradient(plan, probe)
+        surface_grads = surface.gradient(probe)
+        for name in dims:
+            assert surface_grads[name] == pytest.approx(model_grads[name], rel=1e-9)
+
+    def test_underdetermined_fit_rejected(self):
+        with pytest.raises(ValueError, match="at least 4 samples"):
+            fit_cost_surface(("a", "b"), [{"a": 1.0, "b": 1.0}], [1.0])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            fit_cost_surface(("a",), [{"a": 1.0}, {"a": 2.0}], [1.0])
+
+    def test_wrong_coefficient_count_rejected(self):
+        from repro.query.cost import PlanCostSurface
+
+        with pytest.raises(ValueError, match="need 4 coefficients"):
+            PlanCostSurface(("a", "b"), np.ones(3))
+
+
+@settings(max_examples=30)
+@given(
+    costs=st.lists(st.floats(0.1, 5.0), min_size=2, max_size=5),
+    sels=st.data(),
+)
+def test_plan_cost_invariant_total_equals_load_sum(costs, sels):
+    """Property: Σ operator loads == plan cost for any pipeline."""
+    n = len(costs)
+    selectivities = [
+        sels.draw(st.floats(0.05, 2.0), label=f"sel{i}") for i in range(n)
+    ]
+    ops = tuple(
+        Operator(i, f"op{i}", costs[i], selectivities[i]) for i in range(n)
+    )
+    q = Query("prop", ops, (StreamSchema("S", base_rate=10.0),))
+    model = PlanCostModel(q)
+    plan = LogicalPlan(tuple(range(n)))
+    point = q.estimate_point()
+    loads = model.operator_loads(plan, point)
+    assert sum(loads.values()) == pytest.approx(model.plan_cost(plan, point), rel=1e-9)

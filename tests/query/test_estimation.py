@@ -1,0 +1,128 @@
+"""Tests for statistics estimation from samples."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query import (
+    calibrate_workload,
+    estimate_from_samples,
+    uncertainty_level_for,
+)
+from repro.workloads import RegimeSwitchSelectivity, Workload, build_q1
+
+
+class TestUncertaintyLevel:
+    def test_zero_std_is_exact(self):
+        assert uncertainty_level_for(0.5, 0.0) == 0
+
+    def test_level_covers_requested_sigmas(self):
+        # mean 0.5, std 0.05 → 2σ = 0.1 → need 0.1·u·0.5 ≥ 0.1 → u = 2.
+        assert uncertainty_level_for(0.5, 0.05) == 2
+
+    def test_tiny_variation_gets_level_one(self):
+        assert uncertainty_level_for(1.0, 0.001) == 1
+
+    def test_clamped_at_max(self):
+        assert uncertainty_level_for(0.5, 10.0, max_level=5) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uncertainty_level_for(0.0, 0.1)
+        with pytest.raises(ValueError):
+            uncertainty_level_for(0.5, -0.1)
+
+
+class TestEstimateFromSamples:
+    def test_mean_is_point_estimate(self):
+        est = estimate_from_samples({"sel:0": [0.4, 0.6]})
+        assert est.estimates["sel:0"] == pytest.approx(0.5)
+
+    def test_constant_samples_are_exact(self):
+        est = estimate_from_samples({"sel:0": [0.5, 0.5, 0.5]})
+        assert est.uncertainty.get("sel:0", 0) == 0
+
+    def test_single_sample_treated_exact(self):
+        est = estimate_from_samples({"rate": [100.0]})
+        assert est.uncertainty == {}
+
+    def test_fluctuating_samples_get_levels(self):
+        rng = np.random.default_rng(5)
+        noisy = (0.5 * (1 + 0.2 * rng.uniform(-1, 1, size=500))).tolist()
+        est = estimate_from_samples({"sel:0": noisy})
+        assert est.uncertainty["sel:0"] >= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="not be empty"):
+            estimate_from_samples({})
+        with pytest.raises(ValueError, match="no samples"):
+            estimate_from_samples({"x": []})
+        with pytest.raises(ValueError, match="non-positive"):
+            estimate_from_samples({"x": [1.0, -2.0]})
+
+    @settings(max_examples=25)
+    @given(
+        mean=st.floats(0.1, 10.0),
+        spread=st.floats(0.0, 0.4),
+    )
+    def test_band_covers_two_sigma_property(self, mean, spread):
+        """Property: the derived level's band covers ≥ 2 sample σ."""
+        rng = np.random.default_rng(11)
+        samples = mean * (1 + spread * rng.uniform(-1, 1, size=400))
+        est = estimate_from_samples({"x": samples.tolist()})
+        level = est.uncertainty.get("x", 0)
+        if level in (0, 5):
+            return  # exact or clamped: the guarantee doesn't apply
+        e = est.estimates["x"]
+        band = 0.1 * level * e
+        assert band >= 2.0 * float(samples.std(ddof=1)) - 1e-9
+
+
+class TestCalibrateWorkload:
+    def test_recovers_fluctuation_levels(self, three_op_query):
+        levels = {op.op_id: 3 for op in three_op_query.operators}
+        workload = Workload(
+            three_op_query,
+            selectivity_profile=RegimeSwitchSelectivity(levels, period=10.0),
+        )
+        est = calibrate_workload(workload, duration=100.0, n_samples=400)
+        # A ±30% sinusoid has σ ≈ 0.3/√2 ≈ 0.21 of the mean → 2σ ≈ 0.42
+        # of the mean → level ≈ 5 (clamped).
+        for op in three_op_query.operators:
+            assert est.uncertainty.get(op.selectivity_param, 0) >= 3
+
+    def test_constant_workload_is_exact(self, three_op_query):
+        workload = Workload(three_op_query)
+        est = calibrate_workload(workload, duration=50.0)
+        assert not est.uncertain_parameters()
+
+    def test_estimates_near_defaults(self, three_op_query):
+        workload = Workload(three_op_query)
+        est = calibrate_workload(workload, duration=50.0)
+        assert est.estimates["sel:0"] == pytest.approx(0.6)
+        assert est.estimates["rate"] == pytest.approx(100.0)
+
+    def test_feeds_rld_compile(self, three_op_query):
+        """Calibration output plugs straight into the optimizer."""
+        from repro.core import Cluster, RLDOptimizer
+
+        levels = {op.op_id: 2 for op in three_op_query.operators}
+        workload = Workload(
+            three_op_query,
+            selectivity_profile=RegimeSwitchSelectivity(levels, period=10.0),
+        )
+        est = calibrate_workload(workload, duration=60.0)
+        solution = RLDOptimizer(
+            three_op_query, Cluster.homogeneous(3, 500.0)
+        ).solve(est)
+        assert solution.feasible
+
+    def test_validation(self, three_op_query):
+        workload = Workload(three_op_query)
+        with pytest.raises(ValueError):
+            calibrate_workload(workload, duration=0.0)
+        with pytest.raises(ValueError):
+            calibrate_workload(workload, duration=10.0, n_samples=1)

@@ -1,0 +1,91 @@
+"""Tests for the strategy comparison harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Cluster
+from repro.runtime import compare_strategies
+from repro.runtime.comparison import build_standard_strategies
+from repro.workloads import build_q1, stock_workload
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    query = build_q1()
+    estimate = query.default_estimates(
+        {op.selectivity_param: 3 for op in query.operators} | {"rate": 2}
+    )
+    cluster = Cluster.homogeneous(4, 380.0)
+    strategies = build_standard_strategies(query, cluster, estimate=estimate)
+    workload = stock_workload(query, uncertainty_level=3)
+    return query, cluster, strategies, workload
+
+
+class TestBuildStandardStrategies:
+    def test_all_three_present(self, scenario):
+        _, _, strategies, _ = scenario
+        assert set(strategies) == {"ROD", "DYN", "RLD"}
+
+    def test_reuses_precompiled_solution(self, scenario):
+        query, cluster, _, _ = scenario
+        from repro.core import RLDOptimizer
+
+        estimate = query.default_estimates(
+            {op.selectivity_param: 3 for op in query.operators}
+        )
+        solution = RLDOptimizer(query, cluster).solve(estimate)
+        strategies = build_standard_strategies(
+            query, cluster, estimate=estimate, rld_solution=solution
+        )
+        assert strategies["RLD"].placement == solution.physical.physical_plan
+
+
+class TestCompareStrategies:
+    def test_reports_for_each_strategy(self, scenario):
+        query, cluster, strategies, workload = scenario
+        result = compare_strategies(
+            query, cluster, workload, strategies, duration=60.0, seed=11
+        )
+        assert set(result.reports) == {"ROD", "DYN", "RLD"}
+        for report in result.reports.values():
+            assert report.batches_injected > 0
+
+    def test_accessors(self, scenario):
+        query, cluster, strategies, workload = scenario
+        result = compare_strategies(
+            query, cluster, workload, strategies, duration=60.0, seed=11
+        )
+        assert result.latency_ms("RLD") == result.reports["RLD"].avg_tuple_latency_ms
+        assert result.tuples_out("ROD") == result.reports["ROD"].tuples_out
+
+    def test_summary_rows_complete(self, scenario):
+        query, cluster, strategies, workload = scenario
+        result = compare_strategies(
+            query, cluster, workload, strategies, duration=30.0, seed=11
+        )
+        rows = result.summary_rows()
+        assert len(rows) == 3
+        for row in rows:
+            assert {"strategy", "avg_latency_ms", "tuples_out"} <= set(row)
+
+    def test_identical_arrivals_across_strategies(self, scenario):
+        query, cluster, strategies, workload = scenario
+        result = compare_strategies(
+            query, cluster, workload, strategies, duration=60.0, seed=11
+        )
+        injected = {r.batches_injected for r in result.reports.values()}
+        assert len(injected) == 1  # same seed → same arrival process
+
+    def test_strategy_order_filter(self, scenario):
+        query, cluster, strategies, workload = scenario
+        result = compare_strategies(
+            query,
+            cluster,
+            workload,
+            strategies,
+            duration=30.0,
+            seed=11,
+            strategy_order=("RLD",),
+        )
+        assert set(result.reports) == {"RLD"}

@@ -1,0 +1,47 @@
+"""Tests for the ROD baseline strategy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Cluster
+from repro.core.physical import InfeasiblePlacementError
+from repro.engine import StreamSimulator
+from repro.query import make_optimizer
+from repro.runtime import RODStrategy
+from repro.workloads import ConstantRate, Workload
+
+
+class TestROD:
+    def test_plan_is_optimal_at_estimate(self, three_op_query):
+        strategy = RODStrategy(three_op_query, Cluster.homogeneous(2, 500.0))
+        expected = make_optimizer(three_op_query).optimize(
+            three_op_query.estimate_point()
+        )
+        assert strategy.logical_plan == expected
+
+    def test_route_is_constant(self, three_op_query):
+        strategy = RODStrategy(three_op_query, Cluster.homogeneous(2, 500.0))
+        stats = three_op_query.estimate_point()
+        decision1 = strategy.route(0.0, stats)
+        decision2 = strategy.route(100.0, stats.replacing(rate=500.0))
+        assert decision1.plan == decision2.plan
+        assert decision1.overhead_seconds == 0.0
+
+    def test_placement_covers_query(self, three_op_query):
+        strategy = RODStrategy(three_op_query, Cluster.homogeneous(2, 500.0))
+        assert strategy.placement.covers(three_op_query.operator_ids)
+
+    def test_infeasible_cluster_rejected(self, three_op_query):
+        with pytest.raises(InfeasiblePlacementError):
+            RODStrategy(three_op_query, Cluster.homogeneous(1, 1.0))
+
+    def test_never_migrates(self, three_op_query):
+        cluster = Cluster.homogeneous(2, 500.0)
+        strategy = RODStrategy(three_op_query, cluster)
+        workload = Workload(three_op_query, rate_profile=ConstantRate(1.0))
+        sim = StreamSimulator(three_op_query, cluster, strategy, workload, seed=2)
+        report = sim.run(30.0)
+        assert report.migrations == 0
+        assert report.plan_switches == 0
+        assert report.overhead_seconds == 0.0

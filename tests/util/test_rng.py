@@ -1,0 +1,57 @@
+"""Tests for seeded randomness plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util import SeedSequenceFactory, derive_rng
+
+
+class TestDeriveRng:
+    def test_int_seed_is_deterministic(self):
+        a = derive_rng(123).random(5)
+        b = derive_rng(123).random(5)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(derive_rng(1).random(5), derive_rng(2).random(5))
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(9)
+        assert derive_rng(rng) is rng
+
+    def test_none_returns_generator(self):
+        assert isinstance(derive_rng(None), np.random.Generator)
+
+    def test_numpy_integer_seed_accepted(self):
+        a = derive_rng(np.int64(7)).random(3)
+        b = derive_rng(7).random(3)
+        assert np.allclose(a, b)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError, match="expected int seed"):
+            derive_rng("not-a-seed")  # type: ignore[arg-type]
+
+
+class TestSeedSequenceFactory:
+    def test_children_are_independent_but_reproducible(self):
+        f1 = SeedSequenceFactory(42)
+        f2 = SeedSequenceFactory(42)
+        a1, b1 = f1.child().random(4), f1.child().random(4)
+        a2, b2 = f2.child().random(4), f2.child().random(4)
+        assert np.allclose(a1, a2)
+        assert np.allclose(b1, b2)
+        assert not np.allclose(a1, b1)
+
+    def test_spawn_counter(self):
+        factory = SeedSequenceFactory(0)
+        assert factory.spawned == 0
+        factory.child()
+        factory.child()
+        assert factory.spawned == 2
+
+    def test_root_entropy_recreates_factory(self):
+        factory = SeedSequenceFactory(77)
+        clone = SeedSequenceFactory(factory.root_entropy)
+        assert np.allclose(factory.child().random(3), clone.child().random(3))

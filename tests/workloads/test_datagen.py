@@ -1,0 +1,61 @@
+"""Tests for Table 2's distribution generator and moment summaries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import summarize, table2_distributions
+
+
+class TestSummarize:
+    def test_known_sample(self):
+        summary = summarize("x", np.array([1.0, 2.0, 3.0, 4.0]))
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.variance == pytest.approx(1.25)
+        assert summary.skew == pytest.approx(0.0, abs=1e-12)
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            summarize("x", np.array([1.0]))
+
+    def test_as_row_keys_match_table2(self):
+        row = summarize("x", np.arange(10.0)).as_row()
+        assert set(row) == {
+            "min", "max", "med", "mean", "ave.dev", "st.dev", "var", "skew", "kurt",
+        }
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def dists(self):
+        return table2_distributions(n_samples=200_000, seed=2012)
+
+    def test_uniform_moments_match_paper(self, dists):
+        u = dists["Uniform"]
+        # Table 2: mean 49.7, st.dev 29.14, skew 0.05, kurt −1.18.
+        assert u.mean == pytest.approx(50.0, abs=0.5)
+        assert u.standard_deviation == pytest.approx(28.87, abs=0.5)
+        assert u.skew == pytest.approx(0.0, abs=0.05)
+        assert u.kurtosis == pytest.approx(-1.2, abs=0.05)
+
+    def test_poisson_moments_match_paper(self, dists):
+        p = dists["Poisson"]
+        # Table 2: mean 0.97, st.dev 1.01, var 1.02, skew 1.17, kurt 1.89.
+        assert p.mean == pytest.approx(1.0, abs=0.02)
+        assert p.variance == pytest.approx(1.0, abs=0.03)
+        assert p.skew == pytest.approx(1.0, abs=0.05)
+        assert p.median == 1.0
+
+    def test_uniform_support(self, dists):
+        u = dists["Uniform"]
+        assert u.minimum >= 0.0
+        assert u.maximum <= 100.0
+
+    def test_deterministic(self):
+        a = table2_distributions(n_samples=1000, seed=7)
+        b = table2_distributions(n_samples=1000, seed=7)
+        assert a["Uniform"].mean == b["Uniform"].mean

@@ -1,0 +1,135 @@
+"""Tests for rate/selectivity profiles and the Workload bundle."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    ConstantRate,
+    ConstantSelectivity,
+    PeriodicRate,
+    RandomWalkSelectivity,
+    RegimeSwitchSelectivity,
+    StepRate,
+    Workload,
+)
+
+
+class TestRateProfiles:
+    def test_constant(self):
+        assert ConstantRate(2.0).multiplier(99.0) == 2.0
+
+    def test_constant_invalid(self):
+        with pytest.raises(ValueError):
+            ConstantRate(0.0)
+
+    def test_periodic_alternates(self):
+        profile = PeriodicRate(high=2.0, low=0.5, period=10.0)
+        assert profile.multiplier(3.0) == 2.0
+        assert profile.multiplier(13.0) == 0.5
+        assert profile.multiplier(23.0) == 2.0
+
+    def test_periodic_equal_intervals(self):
+        profile = PeriodicRate(high=3.0, low=1.0, period=5.0)
+        highs = sum(1 for t in range(100) if profile.multiplier(t + 0.5) == 3.0)
+        assert highs == 50
+
+    def test_step_schedule(self):
+        profile = StepRate(((0.0, 0.5), (20.0, 1.0), (40.0, 2.0)))
+        assert profile.multiplier(5.0) == 0.5
+        assert profile.multiplier(20.0) == 1.0
+        assert profile.multiplier(100.0) == 2.0
+
+    def test_step_validation(self):
+        with pytest.raises(ValueError, match="ascending"):
+            StepRate(((0.0, 1.0), (10.0, 2.0), (5.0, 3.0)))
+        with pytest.raises(ValueError, match="t=0"):
+            StepRate(((5.0, 1.0),))
+        with pytest.raises(ValueError, match="at least one"):
+            StepRate(())
+
+
+class TestSelectivityProfiles:
+    def test_constant_returns_base(self):
+        assert ConstantSelectivity().value(0, 50.0, 0.42) == 0.42
+
+    def test_regime_switch_stays_within_level_band(self):
+        profile = RegimeSwitchSelectivity({0: 2, 1: 2}, period=30.0)
+        for t in range(0, 120, 3):
+            for op in (0, 1):
+                value = profile.value(op, float(t), 0.5)
+                assert 0.5 * 0.8 - 1e-9 <= value <= 0.5 * 1.2 + 1e-9
+
+    def test_regime_switch_anti_phase(self):
+        profile = RegimeSwitchSelectivity({0: 2, 1: 2}, period=40.0)
+        # At the quarter-period peak, op0 is high while op1 is low.
+        high = profile.value(0, 10.0, 0.5)
+        low = profile.value(1, 10.0, 0.5)
+        assert high > 0.5 > low
+
+    def test_square_mode_is_two_valued(self):
+        profile = RegimeSwitchSelectivity({0: 1}, period=10.0, mode="square")
+        values = {round(profile.value(0, float(t), 0.5), 9) for t in range(40)}
+        assert values <= {round(0.45, 9), round(0.55, 9)}
+
+    def test_level_zero_operator_unchanged(self):
+        profile = RegimeSwitchSelectivity({0: 2}, period=10.0)
+        assert profile.value(7, 3.0, 0.4) == 0.4
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            RegimeSwitchSelectivity({0: 1}, mode="triangle")
+
+    def test_random_walk_bounded_and_deterministic(self):
+        a = RandomWalkSelectivity({0: 3}, seed=9)
+        b = RandomWalkSelectivity({0: 3}, seed=9)
+        for t in (0.0, 5.0, 50.0, 500.0):
+            va = a.value(0, t, 0.5)
+            assert va == b.value(0, t, 0.5)
+            assert 0.5 * 0.7 - 1e-9 <= va <= 0.5 * 1.3 + 1e-9
+
+    def test_random_walk_visits_both_sides(self):
+        profile = RandomWalkSelectivity({0: 3}, step_fraction=0.3, seed=1)
+        values = [profile.value(0, float(t), 0.5) for t in range(200)]
+        assert min(values) < 0.5 < max(values)
+
+
+class TestWorkload:
+    def test_rate_composition(self, three_op_query):
+        workload = Workload(
+            three_op_query, base_rate=100.0, rate_profile=ConstantRate(2.0)
+        )
+        assert workload.rate(0.0) == 200.0
+
+    def test_default_base_rate_from_query(self, three_op_query):
+        workload = Workload(three_op_query)
+        assert workload.rate(0.0) == three_op_query.driving_rate
+
+    def test_stat_point_covers_everything(self, three_op_query):
+        workload = Workload(three_op_query)
+        point = workload.stat_point(1.0)
+        assert set(point) == {"rate", "sel:0", "sel:1", "sel:2"}
+
+    def test_scaled_multiplies_base_rate(self, three_op_query):
+        workload = Workload(three_op_query, base_rate=100.0)
+        assert workload.scaled(4.0).rate(0.0) == pytest.approx(400.0)
+        assert workload.rate(0.0) == pytest.approx(100.0)  # original intact
+
+    def test_selectivity_defaults_to_estimates(self, three_op_query):
+        workload = Workload(three_op_query)
+        assert workload.selectivity(0, 12.0) == 0.6
+
+
+@settings(max_examples=40)
+@given(
+    high=st.floats(1.0, 5.0),
+    low=st.floats(0.1, 1.0),
+    period=st.floats(1.0, 100.0),
+    t=st.floats(0.0, 1e4),
+)
+def test_periodic_rate_always_high_or_low(high, low, period, t):
+    """Property: a periodic profile only ever emits its two levels."""
+    value = PeriodicRate(high=high, low=low, period=period).multiplier(t)
+    assert value in (high, low)

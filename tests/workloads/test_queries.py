@@ -1,0 +1,78 @@
+"""Tests for the Q1/Q2 builders and the N-way generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query import enumerate_plans, is_valid_order, make_optimizer
+from repro.workloads import build_nway, build_q1, build_q2
+
+
+class TestQ1:
+    def test_five_operators(self):
+        q = build_q1()
+        assert len(q) == 5
+        assert q.name == "Q1"
+
+    def test_has_stock_stream(self):
+        q = build_q1()
+        assert q.streams[0].name == "Stocks"
+        assert q.driving_rate == 100.0
+
+    def test_orderings_fluctuation_sensitive(self):
+        # Perturbing selectivities within ±20% changes the optimal order.
+        q = build_q1()
+        optimizer = make_optimizer(q)
+        base = optimizer.optimize(q.estimate_point())
+        perturbed_point = q.estimate_point().replacing(
+            sel__0=q.operator(0).selectivity * 0.8,
+            sel__2=q.operator(2).selectivity * 1.2,
+        )
+        perturbed = optimizer.optimize(perturbed_point)
+        assert base != perturbed
+
+
+class TestQ2:
+    def test_ten_operators(self):
+        q = build_q2()
+        assert len(q) == 10
+
+    def test_unique_costs(self):
+        q = build_q2()
+        costs = [op.cost_per_tuple for op in q.operators]
+        assert len(set(costs)) == len(costs)
+
+
+class TestNWay:
+    def test_sizes(self):
+        for n in (1, 3, 8, 15):
+            assert len(build_nway(n)) == n
+
+    def test_deterministic_from_seed(self):
+        a = build_nway(6, seed=9)
+        b = build_nway(6, seed=9)
+        assert [op.cost_per_tuple for op in a.operators] == [
+            op.cost_per_tuple for op in b.operators
+        ]
+
+    def test_different_seeds_differ(self):
+        a = build_nway(6, seed=1)
+        b = build_nway(6, seed=2)
+        assert [op.cost_per_tuple for op in a.operators] != [
+            op.cost_per_tuple for op in b.operators
+        ]
+
+    def test_chain_variant_constrains_orderings(self):
+        q = build_nway(5, chain=True)
+        assert not q.join_graph.is_unconstrained
+        for plan in enumerate_plans(q, limit=20):
+            assert is_valid_order(q, plan.order)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            build_nway(0)
+
+    def test_state_size_scales_with_cost(self):
+        q = build_nway(4)
+        for op in q.operators:
+            assert op.state_size == pytest.approx(2.0 * op.cost_per_tuple)

@@ -1,0 +1,123 @@
+"""Tests for trace-replay workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import (
+    RegimeSwitchSelectivity,
+    ReplayWorkload,
+    Workload,
+    build_q1,
+)
+
+
+def _trace_samples(query, values_by_time):
+    samples = []
+    for t, (rate, sel) in values_by_time.items():
+        mapping = {"rate": rate}
+        mapping.update(
+            {op.selectivity_param: sel for op in query.operators}
+        )
+        samples.append((t, mapping))
+    return samples
+
+
+class TestConstruction:
+    def test_requires_all_parameters(self, three_op_query):
+        with pytest.raises(ValueError, match="missing"):
+            ReplayWorkload(three_op_query, [(0.0, {"rate": 100.0})])
+
+    def test_requires_ascending_distinct_times(self, three_op_query):
+        good = _trace_samples(three_op_query, {0.0: (100.0, 0.5), 5.0: (120.0, 0.6)})
+        ReplayWorkload(three_op_query, good)
+        bad_order = list(reversed(good))
+        with pytest.raises(ValueError, match="ascending"):
+            ReplayWorkload(three_op_query, bad_order)
+        duplicate = [good[0], (0.0, good[1][1])]
+        with pytest.raises(ValueError, match="distinct"):
+            ReplayWorkload(three_op_query, duplicate)
+
+    def test_invalid_interpolation(self, three_op_query):
+        samples = _trace_samples(three_op_query, {0.0: (100.0, 0.5)})
+        with pytest.raises(ValueError, match="interpolation"):
+            ReplayWorkload(three_op_query, samples, interpolation="cubic")
+
+
+class TestLookup:
+    @pytest.fixture
+    def replay(self, three_op_query):
+        samples = _trace_samples(
+            three_op_query, {0.0: (100.0, 0.4), 10.0: (200.0, 0.6)}
+        )
+        return ReplayWorkload(three_op_query, samples)
+
+    def test_linear_interpolation(self, replay):
+        assert replay.rate(5.0) == pytest.approx(150.0)
+        assert replay.selectivity(0, 2.5) == pytest.approx(0.45)
+
+    def test_clamped_outside_trace(self, replay):
+        assert replay.rate(-5.0) == 100.0
+        assert replay.rate(100.0) == 200.0
+
+    def test_step_interpolation(self, three_op_query):
+        samples = _trace_samples(
+            three_op_query, {0.0: (100.0, 0.4), 10.0: (200.0, 0.6)}
+        )
+        replay = ReplayWorkload(three_op_query, samples, interpolation="step")
+        assert replay.rate(9.99) == 100.0
+        assert replay.rate(10.0) == 200.0
+
+    def test_stat_point_complete(self, replay, three_op_query):
+        point = replay.stat_point(5.0)
+        assert set(point) == {"rate", "sel:0", "sel:1", "sel:2"}
+
+    def test_duration(self, replay):
+        assert replay.duration == 10.0
+
+
+class TestRecord:
+    def test_round_trip_of_synthetic_workload(self):
+        query = build_q1()
+        levels = {op.op_id: 2 for op in query.operators}
+        original = Workload(
+            query,
+            selectivity_profile=RegimeSwitchSelectivity(levels, period=20.0),
+        )
+        replay = ReplayWorkload.record(original, duration=60.0, n_samples=600)
+        for t in (0.0, 7.3, 33.1, 59.0):
+            assert replay.rate(t) == pytest.approx(original.rate(t), rel=1e-6)
+            for op in query.operators:
+                assert replay.selectivity(op.op_id, t) == pytest.approx(
+                    original.selectivity(op.op_id, t), rel=1e-2
+                )
+
+    def test_recorded_trace_drives_simulation(self, three_op_query):
+        from repro.core import Cluster, PhysicalPlan
+        from repro.engine import StreamSimulator
+        from repro.engine.system import RoutingDecision
+        from repro.query import LogicalPlan
+
+        class Fixed:
+            name = "fixed"
+            placement = PhysicalPlan((frozenset({0, 1, 2}),))
+
+            def route(self, time, stats):
+                return RoutingDecision(plan=LogicalPlan((2, 1, 0)))
+
+            def on_tick(self, simulator, time):
+                pass
+
+        original = Workload(three_op_query)
+        replay = ReplayWorkload.record(original, duration=30.0)
+        report = StreamSimulator(
+            three_op_query, Cluster.homogeneous(1, 800.0), Fixed(), replay, seed=3
+        ).run(30.0)
+        assert report.batches_completed > 0
+
+    def test_record_validation(self, three_op_query):
+        workload = Workload(three_op_query)
+        with pytest.raises(ValueError):
+            ReplayWorkload.record(workload, duration=0.0)
+        with pytest.raises(ValueError):
+            ReplayWorkload.record(workload, duration=10.0, n_samples=0)

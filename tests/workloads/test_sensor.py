@@ -1,0 +1,76 @@
+"""Tests for the sensor workload and reading generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import build_q2, generate_sensor_readings, sensor_workload
+from repro.workloads.sensor import DiurnalRate
+
+
+class TestDiurnalRate:
+    def test_oscillates_around_one(self):
+        profile = DiurnalRate(amplitude=0.3, day_seconds=100.0)
+        values = [profile.multiplier(t) for t in range(0, 100, 5)]
+        assert min(values) == pytest.approx(0.7, abs=0.01)
+        assert max(values) == pytest.approx(1.3, abs=0.01)
+
+    def test_period(self):
+        profile = DiurnalRate(day_seconds=50.0)
+        assert profile.multiplier(10.0) == pytest.approx(profile.multiplier(60.0))
+
+    def test_invalid_amplitude(self):
+        with pytest.raises(ValueError):
+            DiurnalRate(amplitude=1.0)
+
+
+class TestReadingGenerator:
+    def test_count_and_determinism(self):
+        a = list(generate_sensor_readings(150, seed=8))
+        b = list(generate_sensor_readings(150, seed=8))
+        assert len(a) == 150
+        assert a == b
+
+    def test_mote_ids_in_range(self):
+        for reading in generate_sensor_readings(200, n_motes=10, seed=1):
+            assert 0 <= reading.mote_id < 10
+
+    def test_physical_plausibility(self):
+        for reading in generate_sensor_readings(500, seed=2):
+            assert reading.humidity >= 0
+            assert reading.light >= 0
+            assert 2.0 <= reading.voltage <= 3.0
+            assert 5.0 <= reading.temperature <= 35.0
+
+    def test_diurnal_temperature_cycle(self):
+        readings = list(
+            generate_sensor_readings(4000, seed=3, interval_seconds=0.5, day_seconds=400.0)
+        )
+        # Day peak (t ≈ 100) vs night trough (t ≈ 300).
+        day = [r.temperature for r in readings if 50 <= r.timestamp <= 150]
+        night = [r.temperature for r in readings if 250 <= r.timestamp <= 350]
+        assert sum(day) / len(day) > sum(night) / len(night) + 3.0
+
+    def test_bursts_occur(self):
+        readings = list(
+            generate_sensor_readings(5000, seed=4, burst_probability=0.05)
+        )
+        assert any(r.light > 400 for r in readings)
+
+
+class TestSensorWorkload:
+    def test_defaults_to_q2(self):
+        assert sensor_workload().query.name == "Q2"
+
+    def test_rate_follows_diurnal_cycle(self):
+        workload = sensor_workload(day_seconds=100.0)
+        assert workload.rate(25.0) > workload.rate(75.0)
+
+    def test_selectivities_within_band(self):
+        q = build_q2()
+        workload = sensor_workload(q, uncertainty_level=2)
+        for t in range(0, 500, 13):
+            for op in q.operators:
+                value = workload.selectivity(op.op_id, float(t))
+                band = 0.1 * 2 * op.selectivity
+                assert op.selectivity - band - 1e-9 <= value <= op.selectivity + band + 1e-9

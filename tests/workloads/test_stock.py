@@ -1,0 +1,81 @@
+"""Tests for the stock-market workload and tick generator."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.workloads import build_q1, generate_stock_ticks, stock_workload
+
+
+class TestTickGenerator:
+    def test_count_and_determinism(self):
+        a = list(generate_stock_ticks(200, seed=5))
+        b = list(generate_stock_ticks(200, seed=5))
+        assert len(a) == 200
+        assert a == b
+
+    def test_prices_positive(self):
+        for tick in generate_stock_ticks(500, seed=1):
+            assert tick.price > 0
+
+    def test_regime_flag_alternates_with_period(self):
+        ticks = list(generate_stock_ticks(1000, seed=2, tick_seconds=1.0, regime_period=100.0))
+        first_regime = [t.bullish for t in ticks[:100]]
+        second_regime = [t.bullish for t in ticks[100:200]]
+        assert all(first_regime)
+        assert not any(second_regime)
+
+    def test_sectors_consistent_per_symbol(self):
+        by_symbol = {}
+        for tick in generate_stock_ticks(300, seed=3):
+            by_symbol.setdefault(tick.symbol, set()).add(tick.sector)
+        assert all(len(sectors) == 1 for sectors in by_symbol.values())
+
+    def test_bull_market_drifts_up(self):
+        # Pure bull regime: long horizon, prices should trend upward.
+        ticks = generate_stock_ticks(
+            20_000, seed=7, tick_seconds=0.001, regime_period=1e9, volatility=0.001, drift=0.001
+        )
+        first, last = None, None
+        totals = {}
+        counts = {}
+        for tick in ticks:
+            totals.setdefault(tick.symbol, []).append(tick.price)
+        rising = sum(
+            1 for prices in totals.values() if prices[-1] > prices[0]
+        )
+        assert rising >= len(totals) * 0.7
+
+    def test_timestamps_monotone(self):
+        stamps = [t.timestamp for t in generate_stock_ticks(50, seed=4)]
+        assert stamps == sorted(stamps)
+
+
+class TestStockWorkload:
+    def test_defaults_to_q1(self):
+        workload = stock_workload()
+        assert workload.query.name == "Q1"
+
+    def test_selectivities_within_level_band(self):
+        q = build_q1()
+        workload = stock_workload(q, uncertainty_level=2)
+        for t, op in itertools.product(range(0, 300, 7), q.operators):
+            value = workload.selectivity(op.op_id, float(t))
+            assert op.selectivity * 0.8 - 1e-9 <= value <= op.selectivity * 1.2 + 1e-9
+
+    def test_regime_flips_optimal_ordering(self):
+        from repro.query import make_optimizer
+
+        q = build_q1()
+        workload = stock_workload(q, uncertainty_level=3, regime_period=100.0)
+        optimizer = make_optimizer(q)
+        bull = optimizer.optimize(workload.stat_point(25.0))
+        bear = optimizer.optimize(workload.stat_point(75.0))
+        assert bull != bear
+
+    def test_rate_pulses(self):
+        workload = stock_workload(rate_high=1.5, rate_low=0.5, rate_period=30.0)
+        rates = {workload.rate(t) for t in (10.0, 40.0)}
+        assert len(rates) == 2
