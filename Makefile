@@ -1,24 +1,36 @@
 # Convenience targets for the RLD reproduction.
+#
+# Every target works in a clean checkout without an editable install:
+# the package lives under src/, so we put it on PYTHONPATH directly —
+# the same command CI and the tier-1 verify run.
 
-.PHONY: install test bench bench-tables examples all
+PYTHON ?= python
+PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: install test chaos bench bench-tables examples all
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
-	pytest tests/
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -x -q
+
+chaos:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro simulate --query q1 --duration 150 \
+		--faults random:crashes=1:slowdowns=1:partitions=1
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 bench-tables:
-	pytest benchmarks/ --benchmark-only -s
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 examples:
-	python examples/quickstart.py
-	python examples/stock_monitoring.py
-	python examples/sensor_network.py
-	python examples/fluctuation_tolerance.py
-	python examples/deploy_workflow.py
+	$(PYTHONPATH_SRC) $(PYTHON) examples/quickstart.py
+	$(PYTHONPATH_SRC) $(PYTHON) examples/stock_monitoring.py
+	$(PYTHONPATH_SRC) $(PYTHON) examples/sensor_network.py
+	$(PYTHONPATH_SRC) $(PYTHON) examples/fluctuation_tolerance.py
+	$(PYTHONPATH_SRC) $(PYTHON) examples/fault_tolerance.py
+	$(PYTHONPATH_SRC) $(PYTHON) examples/deploy_workflow.py
 
-all: install test bench
+all: test bench

@@ -1,0 +1,105 @@
+"""What happens when a machine actually dies? (chaos edition)
+
+The paper stresses the strategies with *statistics drift*; real stream
+processors also lose machines.  This demo crashes the node that RLD's
+preferred plan bottlenecks on — the worst single-node failure for its
+fixed placement — for 30 seconds mid-run, and compares the three
+strategies on the identical chaos:
+
+* ROD has no failure response: batches queue at the dead node and its
+  latency balloons until recovery.
+* DYN evacuates the dead node with forced migrations, paying the full
+  migration pause per operator and dropping the work it abandons.
+* RLD keeps its placement but *reroutes*: the classifier falls back to
+  a surviving robust plan whose bottleneck is elsewhere, so the dead
+  operator sees thinned batches and its stalled queue drains quickly.
+
+Everything is seeded — rerun it and you will get byte-identical
+numbers (the determinism the chaos test suite locks in).
+
+Run:  PYTHONPATH=src python examples/fault_tolerance.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import Cluster, RLDConfig, RLDOptimizer
+from repro.engine.faults import FaultSchedule, node_crash
+from repro.runtime.comparison import build_standard_strategies, compare_strategies
+from repro.runtime.rld_runtime import RLDStrategy
+from repro.workloads import build_q1, stock_workload
+
+CRASH_AT = 40.0
+OUTAGE = 30.0
+DURATION = 150.0
+
+
+def fmt_ms(value: float) -> str:
+    return "  stalled" if math.isnan(value) else f"{value:9.1f}"
+
+
+def main() -> None:
+    query = build_q1()
+    estimate = query.default_estimates(
+        {op.selectivity_param: 3 for op in query.operators} | {"rate": 2}
+    )
+    cluster = Cluster.homogeneous(4, 420.0)
+    solution = RLDOptimizer(query, cluster, config=RLDConfig(epsilon=0.2)).solve(
+        estimate
+    )
+
+    # Find the node RLD's preferred plan leans on hardest.
+    probe = RLDStrategy(solution)
+    stats = estimate.point
+    preferred = probe.route(0.0, stats).plan
+    bottleneck = probe.bottleneck_node(preferred, stats)
+    faults = FaultSchedule(node_crash(CRASH_AT, bottleneck, OUTAGE))
+    print(
+        f"Crashing node {bottleneck} (RLD's preferred-plan bottleneck) "
+        f"at t={CRASH_AT:.0f}s for {OUTAGE:.0f}s\n"
+    )
+
+    workload = stock_workload(query, uncertainty_level=3)
+    results = {}
+    for label, schedule in (("healthy", None), ("crashed", faults)):
+        strategies = build_standard_strategies(
+            query, cluster, estimate=estimate, rld_solution=solution
+        )
+        results[label] = compare_strategies(
+            query, cluster, workload, strategies,
+            duration=DURATION, seed=29, faults=schedule,
+        )
+
+    header = (
+        f"{'strategy':>8} | {'healthy ms':>10} | {'crashed ms':>10} "
+        f"| {'stalls':>6} | {'dropped':>7} | {'migr':>4} | {'switches':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in ("ROD", "DYN", "RLD"):
+        healthy = results["healthy"].reports[name]
+        crashed = results["crashed"].reports[name]
+        print(
+            f"{name:>8} | {fmt_ms(healthy.avg_tuple_latency_ms):>10} "
+            f"| {fmt_ms(crashed.avg_tuple_latency_ms):>10} "
+            f"| {crashed.batch_stalls:>6} | {crashed.batches_dropped:>7} "
+            f"| {crashed.migrations:>4} | {crashed.plan_switches:>8}"
+        )
+
+    rld = results["crashed"].reports["RLD"]
+    rod = results["crashed"].reports["ROD"]
+    print(
+        f"\nReading: ROD keeps queueing full-size batches at the dead node "
+        f"({rod.batch_stalls} stalled submissions); RLD reroutes through a "
+        f"surviving candidate plan ({rld.plan_switches} plan switches, zero "
+        f"migrations) and finishes the run at "
+        f"{rld.avg_tuple_latency_ms / rod.avg_tuple_latency_ms:.0%} of ROD's "
+        f"average latency.  DYN survives too, but pays "
+        f"{results['crashed'].reports['DYN'].migration_stall_seconds:.1f}s of "
+        f"migration stalls to get there."
+    )
+
+
+if __name__ == "__main__":
+    main()

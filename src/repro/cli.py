@@ -10,6 +10,13 @@ Three subcommands, mirroring the library's workflow::
 ``compile`` prints the robust logical solution and physical plan;
 ``diagram`` renders the 2-D plan diagram of a space as ASCII;
 ``simulate`` runs the §6.5 strategy comparison and prints the table.
+``simulate --faults`` additionally injects infrastructure failures
+(see :meth:`repro.engine.faults.FaultSchedule.parse` for the grammar;
+``--faults random`` generates seeded chaos)::
+
+    python -m repro simulate --query q1 --faults "crash@60:node=1:for=30"
+    python -m repro simulate --query q1 --faults random:crashes=2
+
 All commands are deterministic under ``--seed``.
 """
 
@@ -21,6 +28,7 @@ from typing import Sequence
 
 from repro.core import Cluster, RLDConfig, RLDOptimizer, ParameterSpace
 from repro.core.diagram import compute_plan_diagram
+from repro.engine.faults import FaultSchedule
 from repro.query import make_optimizer
 from repro.query.model import Query
 from repro.runtime.comparison import build_standard_strategies, compare_strategies
@@ -99,6 +107,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     workload = stock_workload(
         query, uncertainty_level=args.level, regime_period=args.regime_period
     ).scaled(args.rate_scale)
+    faults = None
+    if args.faults:
+        try:
+            faults = FaultSchedule.parse(
+                args.faults,
+                n_nodes=args.nodes,
+                duration=args.duration,
+                seed=args.fault_seed if args.fault_seed is not None else args.seed,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"invalid --faults spec: {exc}") from exc
+        print(f"fault schedule ({len(faults)} events):")
+        for event in faults:
+            print(f"  {event.describe()}")
+        print()
     comparison = compare_strategies(
         query,
         cluster,
@@ -107,20 +130,29 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         duration=args.duration,
         seed=args.seed,
         strategy_order=tuple(args.strategies),
+        faults=faults,
     )
     header = (
         f"{'strategy':>8} | {'avg ms':>9} | {'p95 ms':>9} | {'tuples out':>11} "
         f"| {'migrations':>10} | {'switches':>8} | {'overhead':>8}"
     )
+    if faults is not None:
+        header += f" | {'dropped':>7} | {'downtime':>8}"
     print(header)
     print("-" * len(header))
     for name, report in comparison.reports.items():
-        print(
+        row = (
             f"{name:>8} | {report.avg_tuple_latency_ms:>9.1f} "
             f"| {report.latency_percentile_ms(95):>9.1f} "
             f"| {report.tuples_out:>11.0f} | {report.migrations:>10} "
             f"| {report.plan_switches:>8} | {report.overhead_fraction:>8.3f}"
         )
+        if faults is not None:
+            row += (
+                f" | {report.batches_dropped:>7} "
+                f"| {report.node_downtime_seconds:>7.1f}s"
+            )
+        print(row)
     return 0
 
 
@@ -166,6 +198,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--regime-period", type=float, default=60.0)
     p_sim.add_argument(
         "--strategies", nargs="+", default=["ROD", "DYN", "RLD"]
+    )
+    p_sim.add_argument(
+        "--faults",
+        default=None,
+        help=(
+            "fault schedule: 'random[:crashes=N:...]' for seeded chaos, or "
+            "explicit events like 'crash@60:node=1:for=30,partition@120:for=10'"
+        ),
+    )
+    p_sim.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="seed for '--faults random' (defaults to --seed)",
     )
     p_sim.set_defaults(handler=_cmd_simulate)
     return parser

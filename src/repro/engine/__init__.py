@@ -11,11 +11,13 @@ seeded, so runs are exactly reproducible.
 * :mod:`repro.engine.node` — single-server simulated machines.
 * :mod:`repro.engine.monitor` — the runtime statistics monitor.
 * :mod:`repro.engine.metrics` — per-run measurement collection.
+* :mod:`repro.engine.faults` — deterministic fault injection.
 * :mod:`repro.engine.system` — the simulator wiring it all together.
 """
 
 from repro.engine.batches import Batch
 from repro.engine.events import EventLoop
+from repro.engine.faults import FaultEvent, FaultSchedule
 from repro.engine.metrics import SimulationReport
 from repro.engine.monitor import StatisticsMonitor
 from repro.engine.network import NetworkModel
@@ -26,6 +28,8 @@ from repro.engine.trace import SimulationTrace, TraceEvent
 __all__ = [
     "Batch",
     "EventLoop",
+    "FaultEvent",
+    "FaultSchedule",
     "NetworkModel",
     "RoutingDecision",
     "SimNode",

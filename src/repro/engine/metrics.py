@@ -3,7 +3,10 @@
 The §6.5 experiments report average tuple processing time (Figures 15a,
 16a, 16b), cumulative tuples produced over time (Figure 15b), and the
 runtime overhead beyond query processing.  :class:`SimulationReport`
-collects exactly those, per batch, as the simulator runs.
+collects exactly those, per batch, as the simulator runs — plus, when
+fault injection is active, the failure ledger (dropped batches, node
+downtime, partition windows, monitor dropouts) that the chaos benches
+compare head-to-head.
 """
 
 from __future__ import annotations
@@ -36,6 +39,26 @@ class SimulationReport:
     plan_switches: int = 0
     node_busy_seconds: list[float] = field(default_factory=list)
     processing_seconds: float = 0.0
+    # -- failure accounting (fault injection) --------------------------
+    #: Batches killed by faults (crash mid-service, partition drops).
+    batches_dropped: int = 0
+    #: Expected tuples lost with those batches (at their current stage).
+    tuples_dropped: float = 0.0
+    #: Batches neither completed nor dropped at the horizon (stalled or
+    #: still queued); set at the end of the run from the live ledger.
+    batches_in_flight: int = 0
+    #: Stage submissions parked because the target node was offline.
+    batch_stalls: int = 0
+    #: Fault events applied during the run.
+    fault_events: int = 0
+    #: Node crash events applied (recoveries are not counted separately).
+    node_crashes: int = 0
+    #: Total node-seconds spent offline within the run.
+    node_downtime_seconds: float = 0.0
+    #: Seconds the network was partitioned within the run.
+    partition_seconds: float = 0.0
+    #: Monitor sampling rounds lost to dropout faults.
+    monitor_samples_dropped: int = 0
     #: (completion time, input-tuple weight, latency seconds) per batch.
     _completions: list[tuple[float, float, float]] = field(default_factory=list)
 
@@ -144,6 +167,36 @@ class SimulationReport:
             return []
         return [busy / self.duration for busy in self.node_busy_seconds]
 
+    # ------------------------------------------------------------------
+    # Failure metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def drop_fraction(self) -> float:
+        """Share of injected batches lost to faults (0 when none ran)."""
+        if self.batches_injected == 0:
+            return 0.0
+        return self.batches_dropped / self.batches_injected
+
+    @property
+    def availability(self) -> float:
+        """Fraction of node-seconds the cluster was online.
+
+        1.0 for a fault-free run; ``1 - downtime/(nodes × duration)``
+        otherwise.  NaN before the run finishes (node count unknown).
+        """
+        n_nodes = len(self.node_busy_seconds)
+        if n_nodes == 0 or self.duration <= 0:
+            return math.nan
+        return 1.0 - self.node_downtime_seconds / (n_nodes * self.duration)
+
+    def conservation_holds(self) -> bool:
+        """Batch accounting identity: injected = completed + dropped + in flight."""
+        return (
+            self.batches_injected
+            == self.batches_completed + self.batches_dropped + self.batches_in_flight
+        )
+
     def to_dict(self) -> dict:
         """Summary as JSON-compatible primitives (dashboards, exports).
 
@@ -153,6 +206,7 @@ class SimulationReport:
         avg = self.avg_tuple_latency_ms
         p95 = self.latency_percentile_ms(95)
         overhead = self.overhead_fraction
+        availability = self.availability
         return {
             "duration": self.duration,
             "batches_injected": self.batches_injected,
@@ -169,4 +223,15 @@ class SimulationReport:
             "processing_seconds": self.processing_seconds,
             "overhead_fraction": None if math.isnan(overhead) else overhead,
             "node_utilization": self.utilization(),
+            "batches_dropped": self.batches_dropped,
+            "tuples_dropped": self.tuples_dropped,
+            "batches_in_flight": self.batches_in_flight,
+            "batch_stalls": self.batch_stalls,
+            "fault_events": self.fault_events,
+            "node_crashes": self.node_crashes,
+            "node_downtime_seconds": self.node_downtime_seconds,
+            "partition_seconds": self.partition_seconds,
+            "monitor_samples_dropped": self.monitor_samples_dropped,
+            "drop_fraction": self.drop_fraction,
+            "availability": None if math.isnan(availability) else availability,
         }

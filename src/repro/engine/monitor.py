@@ -6,6 +6,11 @@ simulated monitor samples the workload's ground-truth statistics with
 multiplicative observation noise and smooths them with an exponential
 moving average — so strategies see realistic, slightly stale estimates
 rather than the simulator's exact internals.
+
+Fault injection can *suspend* the monitor (sample dropout): while
+suspended, sampling rounds are counted as dropped and the last
+estimates stay frozen, so strategies decide on increasingly stale
+statistics — the real-world failure mode of a lossy telemetry path.
 """
 
 from __future__ import annotations
@@ -72,11 +77,31 @@ class StatisticsMonitor:
         self._rng = derive_rng(seed)
         self._estimates: dict[str, float] = {}
         self._samples = 0
+        self._suspended = False
+        self._samples_dropped = 0
 
     @property
     def samples_taken(self) -> int:
         """Number of sampling rounds performed."""
         return self._samples
+
+    @property
+    def samples_dropped(self) -> int:
+        """Sampling rounds skipped while suspended (fault injection)."""
+        return self._samples_dropped
+
+    @property
+    def suspended(self) -> bool:
+        """True while a monitor-dropout fault is active."""
+        return self._suspended
+
+    def suspend(self) -> None:
+        """Stop updating estimates; subsequent samples are dropped."""
+        self._suspended = True
+
+    def resume(self) -> None:
+        """Resume normal sampling after a dropout."""
+        self._suspended = False
 
     def _observe(self, true_value: float) -> float:
         if self._noise == 0:
@@ -85,7 +110,16 @@ class StatisticsMonitor:
         return max(true_value * factor, 1e-9)
 
     def sample(self, time: float) -> StatPoint:
-        """Take one sampling round at ``time`` and return the estimates."""
+        """Take one sampling round at ``time`` and return the estimates.
+
+        While suspended (monitor-dropout fault), the round is counted
+        as dropped and the previous estimates are returned unchanged —
+        except for the very first round, which always primes the
+        estimates so strategies have *something* to decide on.
+        """
+        if self._suspended and self._estimates:
+            self._samples_dropped += 1
+            return self.current()
         observations = {rate_param(): self._observe(self._truth.rate(time))}
         for op in self._query.operators:
             observations[op.selectivity_param] = self._observe(

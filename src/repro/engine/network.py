@@ -54,6 +54,21 @@ class NetworkModel:
             + tuples * self.bytes_per_tuple / self.bandwidth_bytes_per_second
         )
 
+    def scaled(self, factor: float) -> "NetworkModel":
+        """This link degraded ``factor``× (latency up, bandwidth down).
+
+        Used by fault injection's ``degrade`` events: the simulator
+        swaps its live network model for a scaled copy for the
+        degradation window.  ``factor=1.0`` returns an equivalent
+        healthy model.
+        """
+        ensure_positive(factor, "factor")
+        return NetworkModel(
+            latency_seconds=self.latency_seconds * factor,
+            bytes_per_tuple=self.bytes_per_tuple,
+            bandwidth_bytes_per_second=self.bandwidth_bytes_per_second / factor,
+        )
+
     @classmethod
     def zero(cls) -> "NetworkModel":
         """A free network (the paper's §2.1 assumption, made explicit)."""

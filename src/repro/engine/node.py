@@ -6,6 +6,13 @@ seconds of service.  The node keeps an ``available_at`` horizon — jobs
 start at the max of their arrival, the node's horizon, and any
 operator-level suspension (used by DYN migrations) — and accumulates
 busy time for utilization accounting.
+
+Fault injection adds two degradation states: a node may be *slowed*
+(``speed_factor`` scales its effective capacity for jobs submitted
+while the slowdown holds) or *offline* after a crash.  A crash wipes
+the queued backlog — work in service is lost, which the simulator
+detects via ``crash_epoch`` and accounts as dropped batches — and the
+node refuses submissions until :meth:`SimNode.recover`.
 """
 
 from __future__ import annotations
@@ -25,6 +32,10 @@ class SimNode:
         self._available_at = 0.0
         self._busy_seconds = 0.0
         self._jobs = 0
+        self._speed = 1.0
+        self._online = True
+        self._offline_since: float | None = None
+        self._crash_epoch = 0
 
     @property
     def node_id(self) -> int:
@@ -51,19 +62,84 @@ class SimNode:
         """Number of jobs scheduled on this node."""
         return self._jobs
 
+    @property
+    def online(self) -> bool:
+        """False while the node is crashed."""
+        return self._online
+
+    @property
+    def offline_since(self) -> float | None:
+        """Start of the current outage, or ``None`` when online."""
+        return self._offline_since
+
+    @property
+    def crash_epoch(self) -> int:
+        """Crash counter; a job whose epoch changed mid-service is lost."""
+        return self._crash_epoch
+
+    @property
+    def speed_factor(self) -> float:
+        """Current capacity multiplier (1.0 = healthy, <1 = throttled)."""
+        return self._speed
+
+    @property
+    def effective_capacity(self) -> float:
+        """Capacity after any active slowdown."""
+        return self._capacity * self._speed
+
+    def set_speed(self, factor: float) -> None:
+        """Throttle (or restore) the node's capacity.
+
+        Only affects jobs submitted after the change — work already on
+        the FIFO horizon keeps its computed completion time, the same
+        approximation the horizon model makes for queueing itself.
+        """
+        ensure_positive(factor, f"speed factor of node {self._node_id}")
+        self._speed = factor
+
+    def fail(self, time: float) -> None:
+        """Crash the node: wipe its backlog and refuse new work.
+
+        Jobs whose completion was already scheduled are detected as
+        lost by the simulator through the epoch bump; the busy-time
+        ledger keeps the service it had scheduled (utilization reports
+        cover work *scheduled*, not work that survived).
+        """
+        if not self._online:
+            return
+        self._online = False
+        self._offline_since = time
+        self._crash_epoch += 1
+        self._available_at = time
+
+    def recover(self, time: float) -> None:
+        """Bring a crashed node back with an empty queue."""
+        if self._online:
+            return
+        self._online = True
+        self._offline_since = None
+        self._available_at = max(self._available_at, time)
+
     def service_seconds(self, work: float) -> float:
-        """Seconds of service a job of ``work`` cost units needs."""
+        """Seconds of service a job of ``work`` cost units needs now."""
         if work < 0:
             raise ValueError(f"work must be >= 0, got {work}")
-        return work / self._capacity
+        return work / self.effective_capacity
 
     def submit(self, arrival: float, work: float, not_before: float = 0.0) -> float:
         """Enqueue a job; returns its completion time.
 
         The job starts at ``max(arrival, available_at, not_before)``
         (``not_before`` models operator suspension during migration) and
-        occupies the server for ``work/capacity`` seconds.
+        occupies the server for ``work/effective_capacity`` seconds.
+        Submitting to an offline node is a simulator bug — callers must
+        stall or reroute batches for crashed nodes.
         """
+        if not self._online:
+            raise RuntimeError(
+                f"node {self._node_id} is offline; the simulator must stall "
+                f"or reroute instead of submitting"
+            )
         start = max(arrival, self._available_at, not_before)
         service = self.service_seconds(work)
         self._available_at = start + service
@@ -87,7 +163,8 @@ class SimNode:
             self._available_at = time
 
     def __repr__(self) -> str:
+        state = "online" if self._online else "OFFLINE"
         return (
             f"SimNode(id={self._node_id}, capacity={self._capacity:.3g}, "
-            f"busy={self._busy_seconds:.3f}s, jobs={self._jobs})"
+            f"busy={self._busy_seconds:.3f}s, jobs={self._jobs}, {state})"
         )

@@ -13,9 +13,16 @@ into one discrete-event run:
 * Strategies get a periodic tick and may call :meth:`StreamSimulator.
   migrate` (the DYN baseline does); migration suspends the moved
   operator for a state-proportional pause.
+* An optional :class:`~repro.engine.faults.FaultSchedule` injects
+  infrastructure failures mid-run: node crashes (queued work lost, new
+  stages stall until recovery or migration), slowdowns, network
+  degradation and partitions, and monitor dropouts.  Strategies with an
+  ``on_fault(simulator, event)`` method are notified after each event
+  and may degrade gracefully (RLD reroutes, DYN force-migrates).
 
 Everything observable — batch latencies, produced-tuple timeline,
-overheads, migrations — lands in a :class:`SimulationReport`.
+overheads, migrations, and the failure ledger — lands in a
+:class:`SimulationReport`.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ import numpy as np
 from repro.core.physical import Cluster, PhysicalPlan
 from repro.engine.batches import Batch
 from repro.engine.events import EventLoop
+from repro.engine.faults import FaultEvent, FaultSchedule
 from repro.engine.metrics import SimulationReport
 from repro.engine.monitor import GroundTruth, StatisticsMonitor
 from repro.engine.network import NetworkModel
@@ -49,7 +57,15 @@ class RoutingDecision(NamedTuple):
 
 
 class LoadDistributionStrategy(Protocol):
-    """What the simulator needs from RLD / ROD / DYN (see repro.runtime)."""
+    """What the simulator needs from RLD / ROD / DYN (see repro.runtime).
+
+    Strategies *may* additionally define ``on_fault(simulator, event)``;
+    when present, the simulator calls it after applying each injected
+    :class:`~repro.engine.faults.FaultEvent` so the strategy can react
+    (RLD reroutes around dead bottlenecks, DYN force-migrates off
+    crashed nodes).  Strategies without the hook — like ROD — simply
+    suffer the failure.
+    """
 
     name: str
 
@@ -98,7 +114,13 @@ class StreamSimulator:
     trace:
         Optional :class:`~repro.engine.trace.SimulationTrace` capturing
         a per-event audit trail (arrivals, stages, completions,
-        migrations); leave ``None`` for long runs.
+        migrations, faults); leave ``None`` for long runs.
+    faults:
+        Optional :class:`~repro.engine.faults.FaultSchedule` of timed
+        infrastructure failures replayed during the run.  If the
+        schedule contains network-degradation events and no ``network``
+        was given, a default :class:`NetworkModel` is attached so the
+        degradation has a link to degrade.
     """
 
     def __init__(
@@ -116,10 +138,15 @@ class StreamSimulator:
         network: NetworkModel | None = None,
         seed: int | np.random.Generator | None = 17,
         trace: SimulationTrace | None = None,
+        faults: FaultSchedule | None = None,
     ) -> None:
         ensure_positive(batch_size, "batch_size")
         ensure_positive(monitor_period, "monitor_period")
         ensure_positive(tick_period, "tick_period")
+        if faults is not None:
+            faults.validate_for(cluster.n_nodes)
+            if network is None and faults.needs_network:
+                network = NetworkModel()
         self._query = query
         self._cluster = cluster
         self._strategy = strategy
@@ -152,6 +179,21 @@ class StreamSimulator:
         self._last_plan: LogicalPlan | None = None
         self._duration = 0.0
 
+        # Fault-injection state.
+        self._faults = faults
+        self._network_base = self._network
+        self._partitioned = False
+        self._partition_since = 0.0
+        #: Batches whose next stage targets an offline node, awaiting
+        #: recovery (or a migration that re-homes the operator).
+        self._stalled: list[Batch] = []
+        #: crash_epoch of the serving node at stage-submit time, per
+        #: batch — a changed epoch at completion means the work died
+        #: with the node.
+        self._stage_epoch: dict[int, int] = {}
+        #: Live batch ids: injected, not yet completed or dropped.
+        self._active: set[int] = set()
+
     # ------------------------------------------------------------------
     # Introspection for strategies (DYN reads these to rebalance)
     # ------------------------------------------------------------------
@@ -180,6 +222,16 @@ class StreamSimulator:
     def monitor(self) -> StatisticsMonitor:
         """The statistics monitor."""
         return self._monitor
+
+    @property
+    def active_batches(self) -> int:
+        """Batches injected but neither completed nor dropped yet."""
+        return len(self._active)
+
+    @property
+    def partitioned(self) -> bool:
+        """True while a network-partition fault is active."""
+        return self._partitioned
 
     @property
     def report(self) -> SimulationReport:
@@ -227,6 +279,9 @@ class StreamSimulator:
                     detail=f"pause={pause:.3f}s",
                 )
             )
+        # A migration may re-home an operator that stalled batches were
+        # waiting on (its old node crashed); give them another shot.
+        self._redispatch_stalled(now)
         return pause
 
     # ------------------------------------------------------------------
@@ -251,6 +306,7 @@ class StreamSimulator:
             initial_size=self._batch_size,
         )
         self._next_batch_id += 1
+        self._active.add(batch.batch_id)
         report = self.report
         report.batches_injected += 1
         report.tuples_in += batch.initial_size
@@ -279,12 +335,29 @@ class StreamSimulator:
             self._complete(batch, time)
             return
         node = self._nodes[self._placement[op_id]]
+        if not node.online:
+            # The operator's host is down: park the batch until the
+            # node recovers or the operator migrates elsewhere.
+            self._stalled.append(batch)
+            self.report.batch_stalls += 1
+            if self._trace is not None:
+                self._trace.record(
+                    TraceEvent(
+                        time=time,
+                        kind="stall",
+                        batch_id=batch.batch_id,
+                        op_id=op_id,
+                        node=node.node_id,
+                        size=batch.size,
+                    )
+                )
+            return
         previous_node = self._batch_nodes.get(batch.batch_id)
-        if (
-            self._network is not None
-            and previous_node is not None
-            and previous_node != node.node_id
-        ):
+        crosses_nodes = previous_node is not None and previous_node != node.node_id
+        if crosses_nodes and self._partitioned:
+            self._drop(batch, time, f"partition blocks {previous_node}->{node.node_id}")
+            return
+        if self._network is not None and crosses_nodes:
             delay = self._network.transfer_seconds(batch.size)
             time += delay
             self.report.network_seconds += delay
@@ -292,6 +365,7 @@ class StreamSimulator:
         work = batch.size * self._ops[op_id].cost_per_tuple
         self.report.processing_seconds += node.service_seconds(work)
         done = node.submit(time, work, not_before=self._op_ready_at[op_id])
+        self._stage_epoch[batch.batch_id] = node.crash_epoch
         if self._trace is not None:
             self._trace.record(
                 TraceEvent(
@@ -308,6 +382,13 @@ class StreamSimulator:
 
     def _finish_stage(self, batch: Batch) -> None:
         now = self._loop.now
+        serving = self._nodes[self._batch_nodes[batch.batch_id]]
+        epoch = self._stage_epoch.pop(batch.batch_id, serving.crash_epoch)
+        if epoch != serving.crash_epoch:
+            # The node crashed after this stage started service: the
+            # in-flight work died with its queue.
+            self._drop(batch, now, f"node {serving.node_id} crashed mid-service")
+            return
         op_id = batch.next_op
         assert op_id is not None
         selectivity = self._workload.selectivity(op_id, now)
@@ -317,8 +398,36 @@ class StreamSimulator:
         else:
             self._submit_stage(batch, now)
 
+    def _drop(self, batch: Batch, time: float, reason: str) -> None:
+        """Kill a batch mid-flight (crash or partition) and account it."""
+        self._batch_nodes.pop(batch.batch_id, None)
+        self._stage_epoch.pop(batch.batch_id, None)
+        self._active.discard(batch.batch_id)
+        report = self.report
+        report.batches_dropped += 1
+        report.tuples_dropped += batch.size
+        if self._trace is not None:
+            self._trace.record(
+                TraceEvent(
+                    time=time,
+                    kind="drop",
+                    batch_id=batch.batch_id,
+                    size=batch.size,
+                    detail=reason,
+                )
+            )
+
+    def _redispatch_stalled(self, time: float) -> None:
+        """Retry every parked batch; still-offline targets re-park."""
+        if not self._stalled:
+            return
+        pending, self._stalled = self._stalled, []
+        for batch in pending:
+            self._submit_stage(batch, time)
+
     def _complete(self, batch: Batch, time: float) -> None:
         self._batch_nodes.pop(batch.batch_id, None)
+        self._active.discard(batch.batch_id)
         self.report.record_batch(
             created_at=batch.created_at,
             completed_at=time,
@@ -350,6 +459,60 @@ class StreamSimulator:
             self._loop.schedule(next_time, lambda: self._on_tick(next_time))
 
     # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+
+    def _apply_fault(self, event: FaultEvent) -> None:
+        now = self._loop.now
+        report = self.report
+        report.fault_events += 1
+        if event.kind == "crash":
+            node = self._nodes[event.node]
+            if node.online:
+                node.fail(now)
+                report.node_crashes += 1
+        elif event.kind == "recover":
+            node = self._nodes[event.node]
+            if not node.online:
+                assert node.offline_since is not None
+                report.node_downtime_seconds += now - node.offline_since
+                node.recover(now)
+                self._redispatch_stalled(now)
+        elif event.kind == "slowdown":
+            self._nodes[event.node].set_speed(event.factor)
+        elif event.kind == "degrade":
+            if self._network_base is not None:
+                self._network = (
+                    self._network_base
+                    if event.factor == 1.0
+                    else self._network_base.scaled(event.factor)
+                )
+        elif event.kind == "partition":
+            if not self._partitioned:
+                self._partitioned = True
+                self._partition_since = now
+        elif event.kind == "heal":
+            if self._partitioned:
+                self._partitioned = False
+                report.partition_seconds += now - self._partition_since
+        elif event.kind == "monitor_dropout":
+            self._monitor.suspend()
+        elif event.kind == "monitor_restore":
+            self._monitor.resume()
+        if self._trace is not None:
+            self._trace.record(
+                TraceEvent(
+                    time=now,
+                    kind="fault",
+                    node=event.node,
+                    detail=event.describe(),
+                )
+            )
+        on_fault = getattr(self._strategy, "on_fault", None)
+        if on_fault is not None:
+            on_fault(self, event)
+
+    # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
 
@@ -369,7 +532,21 @@ class StreamSimulator:
             self._loop.schedule(
                 self._monitor_period, lambda: self._on_monitor(self._monitor_period)
             )
+        if self._faults is not None:
+            for fault in self._faults.events:
+                if fault.time <= duration:
+                    self._loop.schedule(
+                        fault.time, lambda f=fault: self._apply_fault(f)
+                    )
         self._schedule_arrival(0.0)
         self._loop.run_until(duration)
         self._report.node_busy_seconds = [node.busy_seconds for node in self._nodes]
+        # Close out failure windows still open at the horizon.
+        for node in self._nodes:
+            if not node.online and node.offline_since is not None:
+                self._report.node_downtime_seconds += duration - node.offline_since
+        if self._partitioned:
+            self._report.partition_seconds += duration - self._partition_since
+        self._report.batches_in_flight = len(self._active)
+        self._report.monitor_samples_dropped = self._monitor.samples_dropped
         return self._report

@@ -24,7 +24,10 @@ class TraceEvent:
     """One simulator event.
 
     ``kind`` is one of ``arrival``, ``stage``, ``complete``,
-    ``migration``; the remaining fields are populated as applicable.
+    ``migration``, or — under fault injection — ``fault`` (an injected
+    event fired), ``stall`` (a stage parked on an offline node), and
+    ``drop`` (a batch killed by a crash or partition); the remaining
+    fields are populated as applicable.
     """
 
     time: float

@@ -13,6 +13,7 @@ from typing import Mapping, Sequence
 
 from repro.core.physical import Cluster
 from repro.core.rld import RLDConfig, RLDOptimizer, RLDSolution
+from repro.engine.faults import FaultSchedule
 from repro.engine.metrics import SimulationReport
 from repro.engine.system import LoadDistributionStrategy, StreamSimulator
 from repro.query.model import Query
@@ -52,6 +53,8 @@ class StrategyComparison:
                     "migrations": report.migrations,
                     "plan_switches": report.plan_switches,
                     "overhead_fraction": report.overhead_fraction,
+                    "batches_dropped": report.batches_dropped,
+                    "node_downtime_seconds": report.node_downtime_seconds,
                 }
             )
         return rows
@@ -92,8 +95,14 @@ def compare_strategies(
     seed: int = 17,
     batch_size: float = 100.0,
     strategy_order: Sequence[str] = ("ROD", "DYN", "RLD"),
+    faults: FaultSchedule | None = None,
 ) -> StrategyComparison:
-    """Simulate each strategy on the identical scenario and collect reports."""
+    """Simulate each strategy on the identical scenario and collect reports.
+
+    ``faults`` (optional) replays one immutable fault schedule against
+    every strategy, so robustness-under-failure differences come from
+    the strategies alone — the same chaos hits everyone.
+    """
     reports: dict[str, SimulationReport] = {}
     for name in strategy_order:
         if name not in strategies:
@@ -105,6 +114,7 @@ def compare_strategies(
             workload,
             batch_size=batch_size,
             seed=seed,
+            faults=faults,
         )
         reports[name] = simulator.run(duration)
     return StrategyComparison(duration=duration, reports=reports)

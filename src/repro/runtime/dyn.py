@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.core.greedy_phy import largest_load_first
 from repro.core.physical import Cluster, InfeasiblePlacementError, PhysicalPlan
+from repro.engine.faults import FaultEvent
 from repro.engine.system import RoutingDecision, StreamSimulator
 from repro.query.cost import PlanCostModel
 from repro.query.model import Query
@@ -88,7 +89,12 @@ class DYNStrategy:
         return RoutingDecision(plan=self._plan, overhead_seconds=0.0)
 
     def on_tick(self, simulator: StreamSimulator, time: float) -> None:
-        """Check window utilizations; migrate one operator if imbalanced."""
+        """Check window utilizations; migrate one operator if imbalanced.
+
+        Only online nodes participate: a crashed node is neither a
+        donor (its operators were already evacuated by
+        :meth:`on_fault`) nor a target.
+        """
         nodes = simulator.nodes
         busy = [node.busy_seconds for node in nodes]
         if self._last_busy is None:
@@ -103,8 +109,11 @@ class DYNStrategy:
         ]
         self._last_busy, self._last_tick_time = busy, time
 
-        hot = max(range(len(nodes)), key=lambda i: utilization[i])
-        cold = min(range(len(nodes)), key=lambda i: utilization[i])
+        alive = [i for i, node in enumerate(nodes) if node.online]
+        if len(alive) < 2:
+            return
+        hot = max(alive, key=lambda i: utilization[i])
+        cold = min(alive, key=lambda i: utilization[i])
         gap = utilization[hot] - utilization[cold]
         if gap < self._threshold or hot == cold:
             return
@@ -125,3 +134,27 @@ class DYNStrategy:
         )
         simulator.migrate(candidate, cold)
         self._last_migration = time
+
+    def on_fault(self, simulator: StreamSimulator, event: FaultEvent) -> None:
+        """Evacuate a crashed node by force-migrating its operators.
+
+        This is DYN's reaction to infrastructure failure: every
+        operator hosted on the dead node is immediately re-homed to the
+        least-loaded surviving node, paying the full migration pause
+        for each — adaptation works, but the stalls are the bill (the
+        same Achilles heel §6.5 charges DYN for under load drift).
+        Ignores the cooldown: a crash is not an imbalance signal.
+        """
+        if event.kind != "crash" or event.node is None:
+            return
+        placement = simulator.current_placement
+        dead_ops = sorted(op for op, node in placement.items() if node == event.node)
+        if not dead_ops:
+            return
+        survivors = [node for node in simulator.nodes if node.online]
+        if not survivors:
+            return  # total outage: nothing to evacuate to
+        for op in dead_ops:
+            target = min(survivors, key=lambda n: (n.busy_seconds, n.node_id))
+            simulator.migrate(op, target.node_id)
+        self._last_migration = simulator.now

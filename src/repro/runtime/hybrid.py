@@ -97,24 +97,32 @@ class RLDHybridStrategy(RLDStrategy):
             return
 
         utilization = [(b - p) / window for b, p in zip(busy, previous)]
-        hot = max(range(len(nodes)), key=lambda i: utilization[i])
+        alive = [i for i, node in enumerate(nodes) if node.online]
+        if len(alive) < 2:
+            return
+        hot = max(alive, key=lambda i: utilization[i])
         if utilization[hot] < self._saturation:
             return
 
-        # Source: the busiest node that can actually give an operator up
-        # (moving a node's only operator just relocates the bottleneck).
+        # Source: the busiest online node that can actually give an
+        # operator up (moving a node's only operator just relocates the
+        # bottleneck).
         placement = simulator.current_placement
         ops_by_node: dict[int, list[int]] = {}
         for op, node in placement.items():
             ops_by_node.setdefault(node, []).append(op)
         donors = sorted(
-            (node for node, ops in ops_by_node.items() if len(ops) >= 2),
+            (
+                node
+                for node, ops in ops_by_node.items()
+                if len(ops) >= 2 and nodes[node].online
+            ),
             key=lambda node: -utilization[node],
         )
         if not donors:
             return
         source = donors[0]
-        cold = min(range(len(nodes)), key=lambda i: utilization[i])
+        cold = min(alive, key=lambda i: utilization[i])
         if cold == source:
             return
 

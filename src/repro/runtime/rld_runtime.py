@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from repro.core.physical import InfeasiblePlacementError, PhysicalPlan
 from repro.core.rld import RLDSolution
+from repro.engine.faults import FaultEvent
 from repro.engine.system import RoutingDecision, StreamSimulator
 from repro.query.cost import PlanCostModel
 from repro.query.plans import LogicalPlan
@@ -77,6 +78,8 @@ class RLDStrategy:
             for op_id in solution.query.operator_ids
         }
         self._capacities = solution.cluster.capacities
+        #: Nodes currently offline (maintained via the on_fault hook).
+        self._down: set[int] = set()
 
     @property
     def placement(self) -> PhysicalPlan:
@@ -90,31 +93,86 @@ class RLDStrategy:
         """Robust logical plans the classifier may route batches to."""
         return self._plans
 
-    def _bottleneck_utilization(self, plan: LogicalPlan, stats: StatPoint) -> float:
-        """Peak node utilization this plan would impose on the placement."""
+    def _node_loads(self, plan: LogicalPlan, stats: StatPoint) -> list[float]:
+        """Per-node load (cost units/second) this plan would impose."""
         node_loads = [0.0] * len(self._capacities)
         for op_id, load in self._cost_model.operator_loads(plan, stats).items():
             node_loads[self._node_of[op_id]] += load
+        return node_loads
+
+    def _bottleneck_utilization(self, plan: LogicalPlan, stats: StatPoint) -> float:
+        """Peak node utilization this plan would impose on the placement."""
         return max(
-            load / capacity for load, capacity in zip(node_loads, self._capacities)
+            load / capacity
+            for load, capacity in zip(self._node_loads(plan, stats), self._capacities)
         )
+
+    def bottleneck_node(self, plan: LogicalPlan, stats: StatPoint) -> int:
+        """The node this plan loads hardest relative to its capacity."""
+        utilizations = [
+            load / capacity
+            for load, capacity in zip(self._node_loads(plan, stats), self._capacities)
+        ]
+        return max(range(len(utilizations)), key=lambda i: (utilizations[i], -i))
+
+    def _down_load(self, plan: LogicalPlan, stats: StatPoint) -> float:
+        """Load this plan sends to currently-offline nodes."""
+        return sum(
+            load
+            for op_id, load in self._cost_model.operator_loads(plan, stats).items()
+            if self._node_of[op_id] in self._down
+        )
+
+    @property
+    def down_nodes(self) -> frozenset[int]:
+        """Nodes the strategy currently believes are offline."""
+        return frozenset(self._down)
 
     def route(self, time: float, stats: StatPoint) -> RoutingDecision:
         """Classify the batch to a supported robust plan.
 
         Normally the cheapest plan at the current statistics (§3's
-        online classifier).  When even the cheapest plan would saturate
-        some machine (bottleneck utilization ≥ ``overload_threshold``),
-        routing switches objective to minimizing that bottleneck — the
-        statistics are then outside the space the plan set was costed
-        for, and sustained throughput is governed by the hottest node,
-        not by total work.
+        online classifier).  Two degraded modes:
+
+        * When the preferred plan's bottleneck node is *down* (fault
+          injection), fall back to the best surviving candidate — a
+          supported plan whose bottleneck is still online, cheapest
+          first; if every candidate bottlenecks on a dead node, pick
+          the one sending the least load to dead nodes.  Batches still
+          traverse every operator, but the surviving plan thins them
+          before the dead node's operator, so the stalled queue there
+          stays short and drains quickly after recovery.
+        * When even the cheapest plan would saturate some machine
+          (bottleneck utilization ≥ ``overload_threshold``), switch
+          objective to minimizing that bottleneck — the statistics are
+          then outside the space the plan set was costed for, and
+          sustained throughput is governed by the hottest node, not by
+          total work.
         """
         plan = min(
             self._plans,
             key=lambda p: (self._cost_model.plan_cost(p, stats), p.order),
         )
         if (
+            self._down
+            and len(self._plans) > 1
+            and self.bottleneck_node(plan, stats) in self._down
+        ):
+            surviving = [
+                p
+                for p in self._plans
+                if self.bottleneck_node(p, stats) not in self._down
+            ]
+            pool = surviving or list(self._plans)
+            plan = min(
+                pool,
+                key=lambda p: (
+                    self._down_load(p, stats),
+                    self._cost_model.plan_cost(p, stats),
+                    p.order,
+                ),
+            )
+        elif (
             len(self._plans) > 1
             and self._bottleneck_utilization(plan, stats) >= self._overload_threshold
         ):
@@ -148,3 +206,15 @@ class RLDStrategy:
 
     def on_tick(self, simulator: StreamSimulator, time: float) -> None:
         """RLD never migrates; nothing to do on ticks."""
+
+    def on_fault(self, simulator: StreamSimulator | None, event: FaultEvent) -> None:
+        """Track node liveness so routing can avoid dead bottlenecks.
+
+        RLD's graceful degradation is purely logical: the placement
+        never changes, but the classifier reroutes batches through the
+        candidate plan that burdens the dead node least.
+        """
+        if event.kind == "crash" and event.node is not None:
+            self._down.add(event.node)
+        elif event.kind == "recover" and event.node is not None:
+            self._down.discard(event.node)

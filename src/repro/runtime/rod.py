@@ -67,3 +67,8 @@ class RODStrategy:
 
     def on_tick(self, simulator: StreamSimulator, time: float) -> None:
         """ROD never adapts at runtime."""
+
+    def on_fault(self, simulator: StreamSimulator, event) -> None:
+        """ROD has no failure response: batches bound for a crashed
+        node stall until it recovers and latency simply degrades — the
+        cost of a placement chosen once and frozen."""
