@@ -19,7 +19,11 @@ chaos:
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro simulate --query q1 --duration 150 \
 		--faults random:crashes=1:slowdowns=1:partitions=1
 
+# The cost-kernel benchmark runs on plain perf_counter timing (no
+# pytest-benchmark), so --benchmark-only would deselect it — it gets
+# its own invocation and writes BENCH_costkernel.json at the repo root.
 bench:
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks/test_perf_costkernel.py -q -s
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 bench-tables:

@@ -74,7 +74,30 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     for plan in solution.logical.plans:
         marker = "*" if plan in set(solution.supported_plans) else " "
         print(f" {marker} weight {weights.weight_of(plan):.4f}  {plan.label}")
+    if args.profile:
+        _print_profile(solution)
     return 0 if solution.feasible else 1
+
+
+_STAGE_LABELS = {
+    "partitioning": "partitioning (ERP)",
+    "robustness": "robustness (weights + loads)",
+    "physical": "physical mapping",
+}
+
+
+def _print_profile(solution) -> None:
+    """Per-stage compile-time breakdown from the pipeline's StageTimer."""
+    stages = solution.stage_seconds
+    total = sum(stages.values())
+    print("\ncompile-time profile:")
+    for name, seconds in stages.items():
+        share = 100.0 * seconds / total if total > 0 else 0.0
+        label = _STAGE_LABELS.get(name, name)
+        print(f"  {label:<30} {seconds * 1000:>10.2f} ms  ({share:5.1f}%)")
+    print(f"  {'total':<30} {total * 1000:>10.2f} ms")
+    tensor_ms = solution.logical.tensor_build_seconds * 1000
+    print(f"  {'cost-tensor build (within robustness)':<40} {tensor_ms:.2f} ms")
 
 
 def _cmd_diagram(args: argparse.Namespace) -> int:
@@ -177,6 +200,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument("--capacity", type=float, default=380.0)
     p_compile.add_argument(
         "--algorithm", default="optprune", choices=("optprune", "greedy", "exhaustive")
+    )
+    p_compile.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-stage compile-time breakdown",
     )
     p_compile.set_defaults(handler=_cmd_compile)
 

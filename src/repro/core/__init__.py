@@ -21,6 +21,7 @@ Layered as in the paper:
 """
 
 from repro.core.correlation import CorrelatedOccurrenceModel
+from repro.core.cost_tensor import CostTensorCache, lexicographic_argmin
 from repro.core.diagram import PlanDiagram, compute_plan_diagram
 from repro.core.exhaustive_phy import enumerate_partitions, exhaustive_physical
 from repro.core.greedy_phy import greedy_phy, largest_load_first
@@ -60,6 +61,7 @@ from repro.core.robustness import (
     covered_indices,
     grid_optimal_costs,
     measure_coverage,
+    optimal_costs_vector,
     robust_region_of_plan,
 )
 from repro.core.theory import (
@@ -71,6 +73,7 @@ from repro.core.weights import RegionWeights, WeightAssigner
 
 __all__ = [
     "CorrelatedOccurrenceModel",
+    "CostTensorCache",
     "PlanDiagram",
     "compute_plan_diagram",
     "load_solution",
@@ -111,8 +114,10 @@ __all__ = [
     "greedy_phy",
     "grid_optimal_costs",
     "largest_load_first",
+    "lexicographic_argmin",
     "measure_coverage",
     "opt_prune",
+    "optimal_costs_vector",
     "opt_prune_heterogeneous",
     "robust_region_of_plan",
 ]

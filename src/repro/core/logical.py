@@ -21,6 +21,7 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
+from repro.core.cost_tensor import CostTensorCache, lexicographic_argmin
 from repro.core.occurrence import NormalOccurrenceModel
 from repro.core.parameter_space import GridIndex, ParameterSpace, Region
 from repro.query.cost import PlanCostModel
@@ -94,6 +95,7 @@ class RobustLogicalSolution:
         }
         self._discoveries = tuple(discoveries)
         self._cells_cache: dict[LogicalPlan, set[GridIndex]] | None = None
+        self._tensor_cache: CostTensorCache | None = None
 
     @property
     def query(self) -> Query:
@@ -114,6 +116,32 @@ class RobustLogicalSolution:
     def cost_model(self) -> PlanCostModel:
         """Cost model shared by routing and weighting."""
         return self._cost_model
+
+    @property
+    def cost_cache(self) -> CostTensorCache:
+        """The shared dense cost/load tensor cache over this plan set.
+
+        Lazily built; on spaces above :data:`MAX_EXACT_GRID_POINTS` the
+        per-cell scans below use the sampled-matrix path instead, so
+        accessing this on a huge space is the caller's (memory)
+        decision.
+        """
+        if self._tensor_cache is None:
+            self._tensor_cache = CostTensorCache(
+                self._space, self._cost_model, self._plans
+            )
+        return self._tensor_cache
+
+    @property
+    def tensor_build_seconds(self) -> float:
+        """Seconds spent building dense cost/load tensors so far.
+
+        0.0 when no per-cell scan has forced the cache yet; used by the
+        CLI's ``compile --profile`` breakdown.
+        """
+        if self._tensor_cache is None:
+            return 0.0
+        return self._tensor_cache.build_seconds
 
     @property
     def discoveries(self) -> tuple[PlanDiscovery, ...]:
@@ -180,12 +208,32 @@ class RobustLogicalSolution:
         plan's effective region of responsibility at runtime.  On
         spaces larger than :data:`MAX_EXACT_GRID_POINTS` the scan uses
         the deterministic sample of :meth:`_representative_indices`.
+
+        Computed as one argmin over the dense cost tensor (with the
+        same ``(cost, plan.order)`` tie-break as :meth:`best_plan_at`)
+        rather than a scalar cost call per (plan, point) pair.
         """
         if self._cells_cache is None:
+            indices = self._representative_indices()
+            if self.uses_sampled_grid:
+                # Batch-evaluate only the sampled rows; never build the
+                # full (exponentially large) grid tensor.
+                matrix = self._space.points_matrix(indices)
+                names = list(self._space.names)
+                costs = np.vstack(
+                    [
+                        self._cost_model.plan_costs(plan, matrix, names)
+                        for plan in self._plans
+                    ]
+                )
+                best = lexicographic_argmin([costs], self.cost_cache.plan_ranks)
+            else:
+                # Exact grids scan every index in row-major order, which
+                # is exactly the cost tensor's column order.
+                best = self.cost_cache.best_plan_per_point()
             cells: dict[LogicalPlan, set[GridIndex]] = {p: set() for p in self._plans}
-            for index in self._representative_indices():
-                point = self._space.point_at(index)
-                cells[self.best_plan_at(point)].add(index)
+            for index, plan_index in zip(indices, best):
+                cells[self._plans[plan_index]].add(index)
             self._cells_cache = cells
         return {plan: set(cells) for plan, cells in self._cells_cache.items()}
 
@@ -236,17 +284,17 @@ class RobustLogicalSolution:
         everywhere).
         """
         cells = self.plan_cells().get(plan, set())
-        points: list[StatPoint]
-        if cells:
-            points = [self._space.point_at(index) for index in sorted(cells)]
-        else:
-            points = [self._space.full_region().pnt_hi]
-        loads: dict[int, float] = {op_id: 0.0 for op_id in self._query.operator_ids}
-        for point in points:
-            for op_id, load in self._cost_model.operator_loads(plan, point).items():
-                if load > loads[op_id]:
-                    loads[op_id] = load
-        return loads
+        if not cells:
+            point = self._space.full_region().pnt_hi
+            return dict(self._cost_model.operator_loads(plan, point))
+        matrix = self._space.points_matrix(sorted(cells))
+        batch = self._cost_model.operator_loads_batch(
+            plan, matrix, list(self._space.names)
+        )
+        return {
+            op_id: float(batch[op_id].max())
+            for op_id in self._query.operator_ids
+        }
 
     def expected_loads(
         self, plan: LogicalPlan, occurrence: NormalOccurrenceModel | None = None
@@ -266,21 +314,27 @@ class RobustLogicalSolution:
                 tuple(s // 2 for s in self._space.shape)
             )
             return self._cost_model.operator_loads(plan, point)
-        totals: dict[int, float] = {op_id: 0.0 for op_id in self._query.operator_ids}
-        plain: dict[int, float] = {op_id: 0.0 for op_id in self._query.operator_ids}
-        mass = 0.0
-        for index in sorted(cells):
-            weight = model.cell_probability(index)
-            point = self._space.point_at(index)
-            for op_id, load in self._cost_model.operator_loads(plan, point).items():
-                totals[op_id] += weight * load
-                plain[op_id] += load
-            mass += weight
+        ordered = sorted(cells)
+        weights = np.fromiter(
+            (model.cell_probability(index) for index in ordered),
+            dtype=float,
+            count=len(ordered),
+        )
+        matrix = self._space.points_matrix(ordered)
+        batch = self._cost_model.operator_loads_batch(
+            plan, matrix, list(self._space.names)
+        )
+        mass = float(weights.sum())
         if mass <= 0:
             # Degenerate: cells carry no occurrence mass; plain mean.
-            n = len(cells)
-            return {op_id: total / n for op_id, total in plain.items()}
-        return {op_id: total / mass for op_id, total in totals.items()}
+            return {
+                op_id: float(batch[op_id].mean())
+                for op_id in self._query.operator_ids
+            }
+        return {
+            op_id: float(batch[op_id] @ weights) / mass
+            for op_id in self._query.operator_ids
+        }
 
     def __repr__(self) -> str:
         labels = ", ".join(plan.label for plan in self._plans[:4])

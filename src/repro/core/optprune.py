@@ -22,6 +22,8 @@ from __future__ import annotations
 
 import time
 
+import numpy as np
+
 from repro.core.greedy_phy import greedy_phy, largest_load_first
 from repro.core.physical import (
     Cluster,
@@ -40,12 +42,17 @@ __all__ = [
 _MAX_OPERATORS = 18
 
 
-def _subset_loads(table: PlanLoadTable) -> tuple[list[int], list[list[float]]]:
+def _subset_loads(table: PlanLoadTable) -> tuple[list[int], np.ndarray]:
     """Per-plan total loads for every operator subset (bitmask indexed).
 
-    Returns the sorted operator ids and, for each plan, an array where
-    entry ``s`` is the plan's total worst-case load of subset ``s``.
-    Built incrementally: ``load[s] = load[s ^ lowbit] + load[lowbit]``.
+    Returns the sorted operator ids and a ``(n_plans, 2^m)`` matrix
+    whose entry ``[p, s]`` is plan ``p``'s total worst-case load of
+    subset ``s``.  Built by bitwise doubling: after processing bit
+    ``j``, every subset of operators ``0..j`` is complete, and setting
+    bit ``j`` adds one strided broadcast over the half-filled table
+    (sums accumulate in ascending-bit order; the tolerance comparisons
+    downstream absorb the last-ulp difference from the old
+    lowest-bit-last order).
     """
     ops = list(table.operator_ids)
     if len(ops) > _MAX_OPERATORS:
@@ -53,16 +60,14 @@ def _subset_loads(table: PlanLoadTable) -> tuple[list[int], list[list[float]]]:
             f"OptPrune subset tables support at most {_MAX_OPERATORS} "
             f"operators, got {len(ops)}"
         )
-    n_subsets = 1 << len(ops)
-    per_plan: list[list[float]] = []
-    for plan_index in range(table.n_plans):
-        singles = [table.load(plan_index, op_id) for op_id in ops]
-        loads = [0.0] * n_subsets
-        for subset in range(1, n_subsets):
-            low_bit = subset & -subset
-            loads[subset] = loads[subset ^ low_bit] + singles[low_bit.bit_length() - 1]
-        per_plan.append(loads)
-    return ops, per_plan
+    n_plans = table.n_plans
+    singles = table.load_matrix  # (n_plans, m), column j = operator ops[j]
+    loads = np.zeros((n_plans, 1 << len(ops)))
+    for j in range(len(ops)):
+        step = 1 << j
+        view = loads.reshape(n_plans, -1, 2 * step)
+        view[:, :, step:] = view[:, :, :step] + singles[:, j, None, None]
+    return ops, loads
 
 
 def enumerate_feasible_configs(
@@ -77,11 +82,20 @@ def enumerate_feasible_configs(
     """
     ops, per_plan = _subset_loads(table)
     tolerance = capacity * (1 + 1e-12)
+    fits = per_plan <= tolerance  # (n_plans, 2^m) bool
+    if table.n_plans <= 62:
+        # Pack the per-plan fit columns into int64 support masks in one
+        # vectorized pass.
+        masks = np.zeros(fits.shape[1], dtype=np.int64)
+        for plan_index in range(table.n_plans):
+            masks |= fits[plan_index].astype(np.int64) << np.int64(plan_index)
+        masks[0] = 0  # the empty configuration is not a candidate
+        return {int(s): int(masks[s]) for s in np.flatnonzero(masks)}
     configs: dict[int, int] = {}
-    for subset in range(1, 1 << len(ops)):
+    for subset in range(1, fits.shape[1]):
         mask = 0
-        for plan_index, loads in enumerate(per_plan):
-            if loads[subset] <= tolerance:
+        for plan_index in range(table.n_plans):
+            if fits[plan_index, subset]:
                 mask |= 1 << plan_index
         if mask:
             configs[subset] = mask

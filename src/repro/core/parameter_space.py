@@ -24,6 +24,8 @@ from dataclasses import dataclass
 from itertools import product as iter_product
 from typing import Iterator, Mapping, Sequence
 
+import numpy as np
+
 from repro.query.statistics import StatisticsEstimate, StatPoint
 from repro.util.validation import ensure_non_empty, ensure_positive
 
@@ -89,11 +91,40 @@ class Dimension:
         return self.lo + index * self.cell_width
 
     def nearest_index(self, value: float) -> int:
-        """Grid index whose value is nearest to ``value`` (clamped)."""
+        """Grid index whose value is nearest to ``value`` (clamped).
+
+        A value exactly halfway between two grid cells rounds to the
+        *even* index (IEEE round-half-to-even, Python's ``round``),
+        matching :meth:`nearest_indices` so scalar and vectorized
+        lookups can never disagree at cell boundaries.
+        """
         if self.steps == 1 or self.cell_width == 0:
             return 0
         raw = round((value - self.lo) / self.cell_width)
         return max(0, min(self.steps - 1, int(raw)))
+
+    def values_array(self) -> np.ndarray:
+        """All grid values along this dimension as a float array.
+
+        Entry ``i`` is computed as ``lo + i·cell_width`` — bitwise
+        identical to :meth:`value`, so dense-grid consumers see exactly
+        the values the scalar path sees.
+        """
+        if self.steps == 1:
+            return np.array([self.lo])
+        return self.lo + np.arange(self.steps) * self.cell_width
+
+    def nearest_indices(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`nearest_index` over an array of values.
+
+        Uses ``np.rint`` (round-half-to-even), the same rounding rule as
+        the scalar path, then clamps to ``[0, steps-1]``.
+        """
+        values = np.asarray(values, dtype=float)
+        if self.steps == 1 or self.cell_width == 0:
+            return np.zeros(values.shape, dtype=np.intp)
+        raw = np.rint((values - self.lo) / self.cell_width).astype(np.intp)
+        return np.clip(raw, 0, self.steps - 1)
 
 
 class ParameterSpace:
@@ -110,6 +141,7 @@ class ParameterSpace:
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate dimension names: {names}")
         self._dimensions = tuple(dimensions)
+        self._grid_matrix: np.ndarray | None = None
 
     @classmethod
     def from_estimates(
@@ -185,6 +217,90 @@ class ParameterSpace:
     def grid_indices(self) -> Iterator[GridIndex]:
         """Iterate over every grid index in row-major order."""
         return iter_product(*(range(d.steps) for d in self._dimensions))
+
+    # ------------------------------------------------------------------
+    # Dense-grid views (the vectorized evaluation core's substrate)
+    # ------------------------------------------------------------------
+
+    def flat_index(self, index: GridIndex) -> int:
+        """Row-major flat position of ``index`` — the row of
+        :meth:`grid_matrix` (and the column of any cost tensor) holding
+        that grid point."""
+        flat = 0
+        for i, d in zip(index, self._dimensions):
+            flat = flat * d.steps + i
+        return flat
+
+    def index_of_flat(self, flat: int) -> GridIndex:
+        """Inverse of :meth:`flat_index`."""
+        if not 0 <= flat < self.n_points:
+            raise IndexError(f"flat index {flat} out of range [0, {self.n_points})")
+        index = []
+        for d in reversed(self._dimensions):
+            index.append(flat % d.steps)
+            flat //= d.steps
+        return tuple(reversed(index))
+
+    def grid_matrix(self) -> np.ndarray:
+        """The full grid as a dense ``(n_points, n_dims)`` float array.
+
+        Row ``k`` holds the parameter values of the ``k``-th grid index
+        in row-major (:meth:`grid_indices`) order; columns follow
+        :attr:`names`.  Values are bitwise identical to
+        :meth:`Dimension.value`, and the array is built once and cached
+        (read-only) — it is the substrate every vectorized cost kernel
+        indexes into.
+        """
+        if self._grid_matrix is None:
+            columns = np.meshgrid(
+                *(d.values_array() for d in self._dimensions), indexing="ij"
+            )
+            matrix = np.column_stack([c.reshape(-1) for c in columns])
+            matrix.setflags(write=False)
+            self._grid_matrix = matrix
+        return self._grid_matrix
+
+    def points_matrix(self, indices: Sequence[GridIndex]) -> np.ndarray:
+        """Dense ``(len(indices), n_dims)`` value matrix for a subset of
+        grid indices (same column order as :meth:`grid_matrix`)."""
+        idx = np.asarray(list(indices), dtype=np.intp).reshape(-1, self.n_dims)
+        return np.column_stack(
+            [d.values_array()[idx[:, i]] for i, d in enumerate(self._dimensions)]
+        )
+
+    def nearest_indices(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`nearest_index` over a ``(n, n_dims)`` value
+        matrix; returns an ``(n, n_dims)`` integer index matrix."""
+        values = np.asarray(values, dtype=float)
+        return np.column_stack(
+            [d.nearest_indices(values[:, i]) for i, d in enumerate(self._dimensions)]
+        )
+
+    def nearest_flat_index(self, point: Mapping[str, float]) -> int | None:
+        """Row-major flat index of the grid cell nearest to ``point``.
+
+        Returns ``None`` when the point is *off-grid*: a space dimension
+        is missing from ``point``, or its value falls more than half a
+        cell outside the dimension's ``[lo, hi]`` box (for a pinned
+        single-step dimension, deviates from its only value by more than
+        1e-9 relative).  Callers use ``None`` as the signal to fall back
+        to live (non-tabulated) evaluation.
+        """
+        flat = 0
+        for d in self._dimensions:
+            value = point.get(d.name)
+            if value is None:
+                return None
+            value = float(value)
+            if d.steps == 1:
+                if abs(value - d.lo) > 1e-9 * max(abs(d.lo), 1.0):
+                    return None
+                continue
+            half = d.cell_width / 2.0
+            if not (d.lo - half <= value <= d.hi + half):
+                return None
+            flat = flat * d.steps + d.nearest_index(value)
+        return flat
 
     def grid_points(self) -> Iterator[StatPoint]:
         """Iterate over every grid point as a :class:`StatPoint`."""

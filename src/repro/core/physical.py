@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
+import numpy as np
+
 from repro.core.logical import RobustLogicalSolution
 from repro.core.occurrence import NormalOccurrenceModel
 from repro.query.plans import LogicalPlan
@@ -111,10 +113,25 @@ class PlanLoadTable:
         if len(op_sets) != 1:
             raise ValueError("all plans must cover the same operator set")
         self._operator_ids = tuple(sorted(next(iter(op_sets))))
+        self._op_column = {op_id: j for j, op_id in enumerate(self._operator_ids)}
+        # Dense (n_plans, n_ops) backing matrix: one row per plan, one
+        # column per sorted operator id.  All mask/score/load queries
+        # below are vectorized slices of this matrix.
+        self._load_matrix = np.array(
+            [[table[op_id] for op_id in self._operator_ids] for table in self._loads]
+        )
+        self._weight_vector = np.array(self._weights)
         if typical_loads is None:
             self._typical = None
+            self._typical_matrix = None
         else:
             self._typical = [dict(typical_loads[p]) for p in self._plans]
+            self._typical_matrix = np.array(
+                [
+                    [table[op_id] for op_id in self._operator_ids]
+                    for table in self._typical
+                ]
+            )
 
     @classmethod
     def from_solution(
@@ -158,35 +175,48 @@ class PlanLoadTable:
         """Occurrence weight of ``plan``."""
         return self._weights[self._plans.index(plan)]
 
+    @property
+    def load_matrix(self) -> np.ndarray:
+        """Dense ``(n_plans, n_ops)`` worst-case load matrix.
+
+        Row order is :attr:`plans`; column order :attr:`operator_ids`.
+        Callers must treat the array as read-only.
+        """
+        return self._load_matrix
+
     def load(self, plan_index: int, op_id: int) -> float:
         """Worst-case load of ``op_id`` under plan ``plan_index``."""
         return self._loads[plan_index][op_id]
 
+    def _columns(self, ops: Iterable[int]) -> list[int]:
+        """Matrix column indices of an operator-id collection."""
+        return [self._op_column[op_id] for op_id in ops]
+
+    def _mask_rows(self, mask: int) -> list[int]:
+        """Matrix row indices of the set bits of a plan mask."""
+        return [i for i in range(self.n_plans) if mask >> i & 1]
+
     def config_load(self, plan_index: int, ops: Iterable[int]) -> float:
         """Total worst-case load of an operator set under one plan."""
-        table = self._loads[plan_index]
-        return sum(table[op_id] for op_id in ops)
+        return float(self._load_matrix[plan_index, self._columns(ops)].sum())
 
     def support_mask(self, ops: Iterable[int], capacity: float) -> int:
         """Bitmask of plans a configuration supports on one node.
 
         Bit ``i`` is set when the configuration's worst-case load under
-        ``plans[i]`` fits within ``capacity``.
+        ``plans[i]`` fits within ``capacity`` — one vectorized row-sum
+        comparison over all plans at once.
         """
-        ops = tuple(ops)
+        totals = self._load_matrix[:, self._columns(ops)].sum(axis=1)
+        fits = totals <= capacity * (1 + 1e-12)
         mask = 0
-        for i in range(self.n_plans):
-            if self.config_load(i, ops) <= capacity * (1 + 1e-12):
-                mask |= 1 << i
+        for i in np.flatnonzero(fits):
+            mask |= 1 << int(i)
         return mask
 
     def score(self, mask: int) -> float:
         """Total weight of the plans whose bits are set in ``mask``."""
-        total = 0.0
-        for i in range(self.n_plans):
-            if mask >> i & 1:
-                total += self._weights[i]
-        return total
+        return float(self._weight_vector[self._mask_rows(mask)].sum())
 
     def plans_in_mask(self, mask: int) -> tuple[LogicalPlan, ...]:
         """The plan objects whose bits are set in ``mask``."""
@@ -209,25 +239,22 @@ class PlanLoadTable:
         (falls back to :meth:`max_loads` when the table was built
         without typical loads).  ``None`` means all plans.
         """
-        if self._typical is None:
+        if self._typical_matrix is None:
             return self.max_loads(mask)
         if mask is None:
             mask = self.full_mask
-        indices = [i for i in range(self.n_plans) if mask >> i & 1]
+        indices = self._mask_rows(mask)
         if not indices:
             raise ValueError("expected_loads over an empty plan mask")
-        total_weight = sum(self._weights[i] for i in indices)
+        weights = self._weight_vector[indices]
+        rows = self._typical_matrix[indices]
+        total_weight = float(weights.sum())
         if total_weight <= 0:
-            return {
-                op_id: sum(self._typical[i][op_id] for i in indices) / len(indices)
-                for op_id in self._operator_ids
-            }
+            averaged = rows.mean(axis=0)
+        else:
+            averaged = (weights @ rows) / total_weight
         return {
-            op_id: sum(
-                self._weights[i] * self._typical[i][op_id] for i in indices
-            )
-            / total_weight
-            for op_id in self._operator_ids
+            op_id: float(averaged[j]) for j, op_id in enumerate(self._operator_ids)
         }
 
     def max_loads(self, mask: int | None = None) -> dict[int, float]:
@@ -240,12 +267,12 @@ class PlanLoadTable:
         """
         if mask is None:
             mask = self.full_mask
-        indices = [i for i in range(self.n_plans) if mask >> i & 1]
+        indices = self._mask_rows(mask)
         if not indices:
             raise ValueError("max_loads over an empty plan mask")
+        peaks = self._load_matrix[indices].max(axis=0)
         return {
-            op_id: max(self._loads[i][op_id] for i in indices)
-            for op_id in self._operator_ids
+            op_id: float(peaks[j]) for j, op_id in enumerate(self._operator_ids)
         }
 
 

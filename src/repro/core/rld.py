@@ -33,6 +33,7 @@ from repro.core.physical import Cluster, PhysicalPlanResult, PlanLoadTable
 from repro.query.model import Query
 from repro.query.optimizer import PointOptimizer, make_optimizer
 from repro.query.statistics import StatisticsEstimate
+from repro.util.timing import StageTimer
 
 __all__ = ["RLDConfig", "RLDSolution", "RLDOptimizer"]
 
@@ -88,6 +89,10 @@ class RLDSolution:
     load_table: PlanLoadTable
     physical: PhysicalPlanResult
     occurrence: NormalOccurrenceModel = field(repr=False, compare=False, default=None)
+    #: Wall-clock seconds per compile stage ("partitioning",
+    #: "robustness", "physical"); empty when compiled by an older
+    #: pipeline or reloaded from disk.
+    stage_seconds: dict = field(repr=False, compare=False, default_factory=dict)
 
     @property
     def feasible(self) -> bool:
@@ -168,24 +173,31 @@ class RLDOptimizer:
         space = ParameterSpace.from_estimates(
             estimate, points_per_level=config.points_per_level
         )
-        partitioner = EarlyTerminatedRobustPartitioning(
-            self._query,
-            space,
-            optimizer=self._point_optimizer,
-            epsilon=config.epsilon,
-            failure_probability=config.failure_probability,
-            area_bound=config.area_bound,
-        )
-        partitioning = partitioner.run()
-        logical = partitioning.solution
+        timer = StageTimer()
+        with timer.stage("partitioning"):
+            partitioner = EarlyTerminatedRobustPartitioning(
+                self._query,
+                space,
+                optimizer=self._point_optimizer,
+                epsilon=config.epsilon,
+                failure_probability=config.failure_probability,
+                area_bound=config.area_bound,
+            )
+            partitioning = partitioner.run()
+            logical = partitioning.solution
 
-        occurrence = NormalOccurrenceModel(
-            space, sigma_fraction=config.sigma_fraction
-        )
-        load_table = PlanLoadTable.from_solution(logical, occurrence=occurrence)
-        physical = _PHYSICAL_ALGORITHMS[config.physical_algorithm](
-            load_table, self._cluster
-        )
+        # "Robustness" covers everything between partitioning and the
+        # physical search: cost-tensor-backed plan weights, worst-case
+        # and typical loads (the Figure 13 middle band).
+        with timer.stage("robustness"):
+            occurrence = NormalOccurrenceModel(
+                space, sigma_fraction=config.sigma_fraction
+            )
+            load_table = PlanLoadTable.from_solution(logical, occurrence=occurrence)
+        with timer.stage("physical"):
+            physical = _PHYSICAL_ALGORITHMS[config.physical_algorithm](
+                load_table, self._cluster
+            )
         return RLDSolution(
             query=self._query,
             cluster=self._cluster,
@@ -195,4 +207,5 @@ class RLDOptimizer:
             load_table=load_table,
             physical=physical,
             occurrence=occurrence,
+            stage_seconds=timer.seconds,
         )

@@ -21,6 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
+import numpy as np
+
+from repro.core.cost_tensor import CostTensorCache
 from repro.core.parameter_space import GridIndex, ParameterSpace, Region
 from repro.query.cost import PlanCostModel
 from repro.query.optimizer import PointOptimizer
@@ -30,6 +33,7 @@ __all__ = [
     "RegionCheck",
     "RobustnessChecker",
     "grid_optimal_costs",
+    "optimal_costs_vector",
     "covered_indices",
     "measure_coverage",
     "robust_region_of_plan",
@@ -135,31 +139,64 @@ def grid_optimal_costs(
     return costs
 
 
+def optimal_costs_vector(
+    space: ParameterSpace, optimal_costs: Mapping[GridIndex, float]
+) -> np.ndarray:
+    """Dense ``(n_points,)`` view of a per-index optimal-cost mapping.
+
+    Entries follow the row-major order of ``space.grid_indices()`` —
+    the column order of every :class:`CostTensorCache` tensor.
+    """
+    return np.fromiter(
+        (optimal_costs[index] for index in space.grid_indices()),
+        dtype=float,
+        count=space.n_points,
+    )
+
+
+def _robust_mask(
+    costs: np.ndarray,
+    space: ParameterSpace,
+    optimal_costs: Mapping[GridIndex, float],
+    epsilon: float,
+) -> np.ndarray:
+    """Boolean Def. 1 test of a cost vector against the optimum vector."""
+    optimal = optimal_costs_vector(space, optimal_costs)
+    return costs <= (1.0 + epsilon) * optimal * (1 + 1e-12)
+
+
+def _indices_of_mask(space: ParameterSpace, mask: np.ndarray) -> set[GridIndex]:
+    """Grid indices (tuples) of the set flat positions of ``mask``."""
+    return {space.index_of_flat(int(flat)) for flat in np.flatnonzero(mask)}
+
+
 def covered_indices(
     plans: Iterable[LogicalPlan],
     space: ParameterSpace,
     cost_model: PlanCostModel,
     optimal_costs: Mapping[GridIndex, float],
     epsilon: float,
+    *,
+    cache: CostTensorCache | None = None,
 ) -> set[GridIndex]:
     """Grid indices where at least one plan in the set is ε-robust.
 
     A point is covered when the cheapest plan *from the given set* is
     within ``(1 + ε)`` of the true optimum there — exactly the runtime
     classifier's semantics (it always routes a batch to the best plan
-    in the robust logical solution).
+    in the robust logical solution).  Evaluated on the dense cost
+    tensor; pass ``cache`` to reuse tensors across repeated evaluations
+    of overlapping plan sets (e.g. the Figure 11 budget sweep).
     """
     plans = list(plans)
-    covered: set[GridIndex] = set()
     if not plans:
-        return covered
-    threshold = 1.0 + epsilon
-    for index in space.grid_indices():
-        point = space.point_at(index)
-        best = min(cost_model.plan_cost(plan, point) for plan in plans)
-        if best <= threshold * optimal_costs[index] * (1 + 1e-12):
-            covered.add(index)
-    return covered
+        return set()
+    if cache is None:
+        cache = CostTensorCache(space, cost_model, plans)
+        best = cache.min_costs()
+    else:
+        best = cache.min_costs([cache.plan_index(plan) for plan in plans])
+    return _indices_of_mask(space, _robust_mask(best, space, optimal_costs, epsilon))
 
 
 def measure_coverage(
@@ -168,9 +205,13 @@ def measure_coverage(
     cost_model: PlanCostModel,
     optimal_costs: Mapping[GridIndex, float],
     epsilon: float,
+    *,
+    cache: CostTensorCache | None = None,
 ) -> float:
     """Fraction of grid points ε-covered by the plan set (0.0–1.0)."""
-    covered = covered_indices(plans, space, cost_model, optimal_costs, epsilon)
+    covered = covered_indices(
+        plans, space, cost_model, optimal_costs, epsilon, cache=cache
+    )
     return len(covered) / space.n_points
 
 
@@ -180,17 +221,14 @@ def robust_region_of_plan(
     cost_model: PlanCostModel,
     optimal_costs: Mapping[GridIndex, float],
     epsilon: float,
+    *,
+    cache: CostTensorCache | None = None,
 ) -> set[GridIndex]:
     """Exact robust region of one plan: all indices satisfying Def. 1."""
-    region: set[GridIndex] = set()
-    threshold = 1.0 + epsilon
-    for index in space.grid_indices():
-        point = space.point_at(index)
-        if cost_model.plan_cost(plan, point) <= threshold * optimal_costs[index] * (
-            1 + 1e-12
-        ):
-            region.add(index)
-    return region
+    if cache is None:
+        cache = CostTensorCache(space, cost_model, [plan])
+    costs = cache.cost_tensor[cache.plan_index(plan)]
+    return _indices_of_mask(space, _robust_mask(costs, space, optimal_costs, epsilon))
 
 
 def coverage_against_sequence(
@@ -208,10 +246,16 @@ def coverage_against_sequence(
     result lists, for each budget, the coverage of all plans found at
     or under that many calls — the series plotted in Figure 11.
     """
+    all_plans = [plan for _, plan in plan_sequence]
+    cache = (
+        CostTensorCache(space, cost_model, all_plans) if all_plans else None
+    )
     results = []
     for budget in budgets:
         plans = [plan for calls, plan in plan_sequence if calls <= budget]
         results.append(
-            measure_coverage(plans, space, cost_model, optimal_costs, epsilon)
+            measure_coverage(
+                plans, space, cost_model, optimal_costs, epsilon, cache=cache
+            )
         )
     return results

@@ -129,33 +129,38 @@ class WeightAssigner:
     def assign(
         self, region: Region, plan_lo: LogicalPlan, plan_hi: LogicalPlan
     ) -> RegionWeights:
-        """Compute fresh per-dimension weights for ``region``."""
+        """Compute fresh per-dimension weights for ``region``.
+
+        Each dimension's projected points form one batch: the gradient
+        of both corner plans is evaluated with a single vectorized
+        kernel call per plan instead of one scalar gradient per grid
+        index.
+        """
         self._computed += 1
+        names = list(self._space.names)
+        corner_values = [
+            d.value(region.lo[i]) for i, d in enumerate(self._space.dimensions)
+        ]
         per_dim: list[np.ndarray] = []
         for dim_index, dimension in enumerate(self._space.dimensions):
             lo = region.lo[dim_index]
             hi = region.hi[dim_index]
             length = hi - lo + 1
-            weights = np.zeros(length)
             cell = dimension.cell_width
             width = dimension.width if dimension.width > 0 else 1.0
-            for k in range(length):
-                idx = lo + k
-                point = self._space.point_at(
-                    tuple(
-                        region.lo[d] if d != dim_index else idx
-                        for d in range(self._space.n_dims)
-                    )
-                )
-                grad_lo = self._cost_model.gradient(plan_lo, point)
-                grad_hi = self._cost_model.gradient(plan_hi, point)
-                slope = min(
-                    abs(grad_lo.get(dimension.name, 0.0)),
-                    abs(grad_hi.get(dimension.name, 0.0)),
-                )
-                distance = (dimension.value(idx) - dimension.value(lo) + max(cell, 1e-9)) / width
-                weights[k] = slope / distance
-            per_dim.append(weights)
+            # Projected points: dimension ``dim_index`` sweeps the
+            # region's index range, every other dimension pinned at the
+            # region's pntLo value.
+            values = dimension.values_array()[lo : hi + 1]
+            matrix = np.tile(np.asarray(corner_values), (length, 1))
+            matrix[:, dim_index] = values
+            grad_lo = self._cost_model.gradients_batch(plan_lo, matrix, names)
+            grad_hi = self._cost_model.gradients_batch(plan_hi, matrix, names)
+            slope = np.minimum(
+                np.abs(grad_lo[:, dim_index]), np.abs(grad_hi[:, dim_index])
+            )
+            distance = (values - values[0] + max(cell, 1e-9)) / width
+            per_dim.append(slope / distance)
         return RegionWeights(region, tuple(per_dim))
 
     def uniform(self, region: Region) -> RegionWeights:

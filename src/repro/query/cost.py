@@ -39,6 +39,7 @@ __all__ = [
     "PlanCostSurface",
     "multilinear_features",
     "fit_cost_surface",
+    "surface_for_plan",
 ]
 
 
@@ -148,6 +149,135 @@ class PlanCostModel:
         """
         grads = self.gradient(plan, point)
         return float(np.sqrt(sum(g * g for g in grads.values())))
+
+    # ------------------------------------------------------------------
+    # Batch (vectorized) evaluation over dense point matrices
+    # ------------------------------------------------------------------
+    #
+    # Each batch method evaluates one plan at every row of a
+    # ``(n_points, len(names))`` value matrix in a handful of NumPy
+    # column operations.  The accumulation order deliberately mirrors
+    # the scalar loops above operation for operation, so batch results
+    # are bitwise identical to calling the scalar method per row —
+    # the equivalence the hypothesis suite pins down.
+
+    def _column(
+        self, param: str, default: float, names: Sequence[str], values: np.ndarray
+    ) -> np.ndarray | float:
+        """The values of ``param`` across the batch.
+
+        Returns the matching matrix column when the parameter is one of
+        ``names``, else the scalar default — the same "resolve from the
+        point, fall back to the estimate" rule as the scalar path.
+        """
+        try:
+            position = list(names).index(param)
+        except ValueError:
+            return default
+        return values[:, position]
+
+    def plan_costs(
+        self, plan: LogicalPlan, values: np.ndarray, names: Sequence[str]
+    ) -> np.ndarray:
+        """Total per-second cost of ``plan`` at every point of a batch.
+
+        ``values`` is a ``(n_points, len(names))`` matrix whose columns
+        are the parameters listed in ``names`` (e.g. a
+        :meth:`~repro.core.parameter_space.ParameterSpace.grid_matrix`);
+        parameters not present fall back to their defaults, exactly as
+        in :meth:`plan_cost`.  Returns an ``(n_points,)`` cost vector.
+        """
+        values = np.asarray(values, dtype=float)
+        names = list(names)
+        rate = self._column(self._rate_name, self._query.driving_rate, names, values)
+        carried = np.ones(values.shape[0])
+        total = np.zeros(values.shape[0])
+        for op_id in plan:
+            op = self._ops[op_id]
+            total += op.cost_per_tuple * carried
+            carried = carried * self._column(
+                op.selectivity_param, op.selectivity, names, values
+            )
+        return rate * total
+
+    def operator_loads_batch(
+        self, plan: LogicalPlan, values: np.ndarray, names: Sequence[str]
+    ) -> dict[int, np.ndarray]:
+        """Per-operator loads of ``plan`` at every point of a batch.
+
+        The batch counterpart of :meth:`operator_loads`: a mapping from
+        operator id to its ``(n_points,)`` load vector.
+        """
+        values = np.asarray(values, dtype=float)
+        names = list(names)
+        rate = self._column(self._rate_name, self._query.driving_rate, names, values)
+        carried = np.ones(values.shape[0])
+        loads: dict[int, np.ndarray] = {}
+        for op_id in plan:
+            op = self._ops[op_id]
+            loads[op_id] = rate * op.cost_per_tuple * carried
+            carried = carried * self._column(
+                op.selectivity_param, op.selectivity, names, values
+            )
+        return loads
+
+    def gradients_batch(
+        self, plan: LogicalPlan, values: np.ndarray, names: Sequence[str]
+    ) -> np.ndarray:
+        """Partial derivatives of plan cost at every point of a batch.
+
+        Returns an ``(n_points, len(names))`` matrix whose column ``j``
+        is ∂cost/∂``names[j]``; a parameter that does not influence the
+        cost (neither the rate nor any operator's selectivity) gets a
+        zero column — the batch analogue of :meth:`gradient` returning
+        no entry for it.
+        """
+        values = np.asarray(values, dtype=float)
+        names = list(names)
+        n_points = values.shape[0]
+        rate = self._column(self._rate_name, self._query.driving_rate, names, values)
+        grads = np.zeros((n_points, len(names)))
+
+        order = tuple(plan)
+        sels = [
+            self._column(
+                self._ops[op_id].selectivity_param,
+                self._ops[op_id].selectivity,
+                names,
+                values,
+            )
+            for op_id in order
+        ]
+        if self._rate_name in names:
+            # ∂cost/∂λ = cost/λ, computed as the scalar path does (full
+            # cost divided by the rate) so the two agree bitwise.
+            carried = np.ones(n_points)
+            total = np.zeros(n_points)
+            for k, op_id in enumerate(order):
+                total = total + self._ops[op_id].cost_per_tuple * carried
+                carried = carried * sels[k]
+            grads[:, names.index(self._rate_name)] = (rate * total) / rate
+        for k, op_id in enumerate(order):
+            name = self._ops[op_id].selectivity_param
+            if name not in names:
+                continue
+            prefix_product = np.ones(n_points)
+            for j in range(k):
+                prefix_product = prefix_product * sels[j]
+            suffix = np.zeros(n_points)
+            carried = np.ones(n_points)
+            for later in range(k + 1, len(order)):
+                suffix = suffix + self._ops[order[later]].cost_per_tuple * carried
+                carried = carried * sels[later]
+            grads[:, names.index(name)] = rate * prefix_product * suffix
+        return grads
+
+    def slopes_batch(
+        self, plan: LogicalPlan, values: np.ndarray, names: Sequence[str]
+    ) -> np.ndarray:
+        """Euclidean gradient norms at every point of a batch."""
+        grads = self.gradients_batch(plan, values, names)
+        return np.sqrt(np.sum(grads * grads, axis=1))
 
 
 def multilinear_features(values: Sequence[float]) -> np.ndarray:

@@ -12,6 +12,9 @@ of each batch's expected processing time, so the reported
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.core.cost_tensor import lexicographic_argmin
 from repro.core.physical import InfeasiblePlacementError, PhysicalPlan
 from repro.core.rld import RLDSolution
 from repro.engine.faults import FaultEvent
@@ -22,6 +25,11 @@ from repro.query.statistics import StatPoint, rate_param
 from repro.util.validation import ensure_in_range
 
 __all__ = ["RLDStrategy"]
+
+#: Above this many grid points the routing table is disabled and every
+#: batch takes the live (scalar argmin) path — the table would cost more
+#: memory than the per-batch evaluation it saves.
+MAX_TABLE_POINTS = 200_000
 
 
 class RLDStrategy:
@@ -80,6 +88,33 @@ class RLDStrategy:
         self._capacities = solution.cluster.capacities
         #: Nodes currently offline (maintained via the on_fault hook).
         self._down: set[int] = set()
+        # ---- Precomputed routing table over grid cells --------------
+        # One argmin decision per grid point, mirroring route()'s exact
+        # branch logic for the current down-set.  Lazily built, rebuilt
+        # after faults change node liveness, bypassed (live path) when
+        # the statistics fall off-grid.
+        self._space = solution.space
+        self._table: np.ndarray | None = None
+        self._table_down: frozenset[int] = frozenset()
+        self._table_hits = 0
+        self._table_misses = 0
+        self._table_rebuilds = 0
+        self._table_enabled = self._space.n_points <= MAX_TABLE_POINTS
+        by_order = sorted(range(len(self._plans)), key=lambda i: self._plans[i].order)
+        self._plan_ranks = np.empty(len(self._plans), dtype=np.intp)
+        for rank, i in enumerate(by_order):
+            self._plan_ranks[i] = rank
+        # Cost-relevant parameters that are *not* space dimensions are
+        # baked into the table at their model defaults; if the monitor
+        # reports a drifted value for one of them, the table no longer
+        # describes the live cost surface and the lookup must miss.
+        dim_names = set(self._space.names)
+        self._off_dim_defaults: dict[str, float] = {}
+        if self._rate_name not in dim_names:
+            self._off_dim_defaults[self._rate_name] = solution.query.driving_rate
+        for op in solution.query.operators:
+            if op.selectivity_param not in dim_names:
+                self._off_dim_defaults[op.selectivity_param] = op.selectivity
 
     @property
     def placement(self) -> PhysicalPlan:
@@ -128,8 +163,139 @@ class RLDStrategy:
         """Nodes the strategy currently believes are offline."""
         return frozenset(self._down)
 
+    # ------------------------------------------------------------------
+    # Precomputed routing table (the O(1) classifier fast path)
+    # ------------------------------------------------------------------
+
+    @property
+    def routing_table_enabled(self) -> bool:
+        """False when the space is too large to tabulate."""
+        return self._table_enabled
+
+    @property
+    def table_hits(self) -> int:
+        """Batches routed by the precomputed table."""
+        return self._table_hits
+
+    @property
+    def table_misses(self) -> int:
+        """Batches routed by live evaluation (off-grid or disabled)."""
+        return self._table_misses
+
+    @property
+    def table_rebuilds(self) -> int:
+        """Times the table was (re)built, including the first build."""
+        return self._table_rebuilds
+
+    def _build_table(self) -> np.ndarray:
+        """One routing decision per grid cell for the current down-set.
+
+        Vectorized mirror of :meth:`_route_live`'s three branches over
+        the whole grid at once: the cost argmin, the dead-bottleneck
+        fallback, and the overload (min-bottleneck) mode.  All argmins
+        share the scalar path's ``(…, plan.order)`` tie-break via
+        :func:`lexicographic_argmin`.
+        """
+        space = self._space
+        names = list(space.names)
+        matrix = space.grid_matrix()
+        n_points = matrix.shape[0]
+        n_plans = len(self._plans)
+        capacities = np.asarray(self._capacities, dtype=float)
+        down = np.zeros(len(self._capacities), dtype=bool)
+        for node in self._down:
+            down[node] = True
+
+        costs = np.empty((n_plans, n_points))
+        butil = np.empty((n_plans, n_points))
+        bneck = np.empty((n_plans, n_points), dtype=np.intp)
+        down_load = np.zeros((n_plans, n_points))
+        for p, plan in enumerate(self._plans):
+            costs[p] = self._cost_model.plan_costs(plan, matrix, names)
+            loads = self._cost_model.operator_loads_batch(plan, matrix, names)
+            node_loads = np.zeros((len(self._capacities), n_points))
+            for op_id, load in loads.items():
+                node_loads[self._node_of[op_id]] += load
+            utils = node_loads / capacities[:, None]
+            bneck[p] = np.argmax(utils, axis=0)  # first max = smallest node
+            butil[p] = utils.max(axis=0)
+            if self._down:
+                for op_id, load in loads.items():
+                    if self._node_of[op_id] in self._down:
+                        down_load[p] += load
+
+        choice = lexicographic_argmin([costs], self._plan_ranks)
+        if n_plans > 1:
+            cols = np.arange(n_points)
+            pref_util = butil[choice, cols]
+            if self._down:
+                plan_bneck_down = down[bneck]  # (n_plans, n_points)
+                pref_down = plan_bneck_down[choice, cols]
+                survive = ~plan_bneck_down
+                has_survivor = survive.any(axis=0)
+                # Non-surviving plans leave the candidate pool (∞ key)
+                # except where *every* plan bottlenecks on a dead node.
+                dl_key = np.where(
+                    has_survivor[None, :] & ~survive, np.inf, down_load
+                )
+                degraded = lexicographic_argmin([dl_key, costs], self._plan_ranks)
+                overloaded = ~pref_down & (pref_util >= self._overload_threshold)
+                choice = np.where(pref_down, degraded, choice)
+            else:
+                overloaded = pref_util >= self._overload_threshold
+            if overloaded.any():
+                by_bottleneck = lexicographic_argmin(
+                    [butil, costs], self._plan_ranks
+                )
+                choice = np.where(overloaded, by_bottleneck, choice)
+        return choice
+
+    def _table_plan(self, stats: StatPoint) -> LogicalPlan | None:
+        """Table lookup; ``None`` demands the live path.
+
+        Misses when the table is disabled (space too large), when any
+        cost parameter *outside* the space drifted from the default the
+        table was baked with, or when the statistics fall off-grid
+        (beyond half a cell outside the box).
+        """
+        if not self._table_enabled:
+            return None
+        for name, default in self._off_dim_defaults.items():
+            value = stats.get(name)
+            if value is not None and abs(float(value) - default) > 1e-9 * max(
+                abs(default), 1.0
+            ):
+                return None
+        flat = self._space.nearest_flat_index(stats)
+        if flat is None:
+            return None
+        current_down = frozenset(self._down)
+        if self._table is None or self._table_down != current_down:
+            self._table = self._build_table()
+            self._table_down = current_down
+            self._table_rebuilds += 1
+        return self._plans[int(self._table[flat])]
+
     def route(self, time: float, stats: StatPoint) -> RoutingDecision:
         """Classify the batch to a supported robust plan.
+
+        The fast path snaps the statistics to the nearest grid cell and
+        reads the plan from the precomputed routing table — O(1) per
+        batch.  Statistics off the grid (or a space too large to
+        tabulate) fall back to :meth:`_route_live`, the scalar argmin
+        the table was built from.
+        """
+        plan = self._table_plan(stats)
+        if plan is not None:
+            self._table_hits += 1
+        else:
+            self._table_misses += 1
+            plan = self._route_live(stats)
+        overhead = self._classification_overhead(plan, stats)
+        return RoutingDecision(plan=plan, overhead_seconds=overhead)
+
+    def _route_live(self, stats: StatPoint) -> LogicalPlan:
+        """Scalar classification at exact statistics.
 
         Normally the cheapest plan at the current statistics (§3's
         online classifier).  Two degraded modes:
@@ -184,8 +350,7 @@ class RLDStrategy:
                     p.order,
                 ),
             )
-        overhead = self._classification_overhead(plan, stats)
-        return RoutingDecision(plan=plan, overhead_seconds=overhead)
+        return plan
 
     def _classification_overhead(self, plan: LogicalPlan, stats: StatPoint) -> float:
         """Charge ≈ ``fraction`` of the batch's expected service seconds."""
@@ -212,9 +377,15 @@ class RLDStrategy:
 
         RLD's graceful degradation is purely logical: the placement
         never changes, but the classifier reroutes batches through the
-        candidate plan that burdens the dead node least.
+        candidate plan that burdens the dead node least.  Any liveness
+        change invalidates the routing table; the next on-grid batch
+        rebuilds it for the new down-set.
         """
         if event.kind == "crash" and event.node is not None:
-            self._down.add(event.node)
+            if event.node not in self._down:
+                self._down.add(event.node)
+                self._table = None
         elif event.kind == "recover" and event.node is not None:
-            self._down.discard(event.node)
+            if event.node in self._down:
+                self._down.discard(event.node)
+                self._table = None

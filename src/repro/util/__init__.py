@@ -6,6 +6,7 @@ specific lives in :mod:`repro.query`, :mod:`repro.core`,
 """
 
 from repro.util.rng import SeedSequenceFactory, derive_rng
+from repro.util.timing import StageTimer
 from repro.util.validation import (
     ensure_in_range,
     ensure_non_empty,
@@ -15,6 +16,7 @@ from repro.util.validation import (
 
 __all__ = [
     "SeedSequenceFactory",
+    "StageTimer",
     "derive_rng",
     "ensure_in_range",
     "ensure_non_empty",

@@ -1,0 +1,51 @@
+"""Wall-clock stage accounting for the compile pipeline.
+
+:class:`StageTimer` accumulates seconds per named stage; the RLD
+optimizer threads one through its pipeline so ``repro compile
+--profile`` can print a partitioning / robustness / physical-mapping
+breakdown without every stage re-inventing ``time.perf_counter`` pairs.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["StageTimer"]
+
+
+class StageTimer:
+    """Accumulates wall-clock seconds under named stages.
+
+    Stages may be entered repeatedly; their durations add up.  Insertion
+    order is preserved, so a profile prints in pipeline order.
+    """
+
+    def __init__(self) -> None:
+        self._seconds: dict[str, float] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Context manager timing one stage entry."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._seconds[name] = (
+                self._seconds.get(name, 0.0) + time.perf_counter() - start
+            )
+
+    def add(self, name: str, seconds: float) -> None:
+        """Credit externally-measured seconds to a stage."""
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+
+    @property
+    def seconds(self) -> dict[str, float]:
+        """Stage name → accumulated seconds, in insertion order."""
+        return dict(self._seconds)
+
+    @property
+    def total(self) -> float:
+        """Sum over all stages."""
+        return sum(self._seconds.values())

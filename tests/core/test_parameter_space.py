@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -45,6 +46,31 @@ class TestDimension:
     def test_invalid_rejected(self, kwargs):
         with pytest.raises(ValueError):
             Dimension(**kwargs)
+
+    def test_nearest_index_at_exact_cell_boundaries(self):
+        # Regression: a value exactly halfway between two grid values must
+        # round the same way in the scalar (Python round, half-to-even) and
+        # vectorized (np.rint, also half-to-even) paths, or the routing
+        # table and live classifier could snap to different cells.
+        dim = Dimension("x", 0.0, 1.0, 5)  # cells at 0, .25, .5, .75, 1
+        assert dim.nearest_index(0.125) == 0  # midpoint 0/1 -> even 0
+        assert dim.nearest_index(0.375) == 2  # midpoint 1/2 -> even 2
+        assert dim.nearest_index(0.625) == 2  # midpoint 2/3 -> even 2
+        assert dim.nearest_index(0.875) == 4  # midpoint 3/4 -> even 4
+
+    def test_nearest_indices_matches_scalar_over_sweep(self):
+        dim = Dimension("x", 0.2, 0.8, 7)
+        values = np.linspace(-0.1, 1.1, 977)
+        batch = dim.nearest_indices(values)
+        scalar = np.array([dim.nearest_index(v) for v in values])
+        assert np.array_equal(batch, scalar)
+
+    def test_values_array_matches_value(self):
+        dim = Dimension("x", 0.3, 0.9, 4)
+        arr = dim.values_array()
+        assert arr.shape == (4,)
+        for i in range(dim.steps):
+            assert arr[i] == dim.value(i)
 
 
 class TestFromEstimates:
@@ -94,6 +120,50 @@ class TestParameterSpace:
         region = space_2d.full_region()
         assert region.n_points == space_2d.n_points
         assert region.area_fraction == 1.0
+
+    def test_flat_index_follows_grid_order(self, space_2d):
+        for flat, index in enumerate(space_2d.grid_indices()):
+            assert space_2d.flat_index(index) == flat
+            assert space_2d.index_of_flat(flat) == index
+        with pytest.raises(IndexError):
+            space_2d.index_of_flat(space_2d.n_points)
+
+    def test_grid_matrix_rows_match_point_at(self, space_2d):
+        matrix = space_2d.grid_matrix()
+        assert matrix.shape == (space_2d.n_points, space_2d.n_dims)
+        assert space_2d.grid_matrix() is matrix  # cached
+        for flat, index in enumerate(space_2d.grid_indices()):
+            point = space_2d.point_at(index)
+            for col, name in enumerate(space_2d.names):
+                assert matrix[flat, col] == point[name]
+        with pytest.raises(ValueError):
+            matrix[0, 0] = 99.0
+
+    def test_points_matrix_subset(self, space_2d):
+        indices = list(space_2d.grid_indices())[:: 3]
+        matrix = space_2d.points_matrix(indices)
+        full = space_2d.grid_matrix()
+        flats = [space_2d.flat_index(i) for i in indices]
+        assert np.array_equal(matrix, full[flats])
+
+    def test_nearest_flat_index_on_grid(self, space_2d):
+        for flat, index in enumerate(space_2d.grid_indices()):
+            assert space_2d.nearest_flat_index(space_2d.point_at(index)) == flat
+
+    def test_nearest_flat_index_off_grid(self):
+        space = ParameterSpace(
+            [Dimension("x", 0.0, 1.0, 5), Dimension("p", 0.5, 0.5, 1)]
+        )
+        # Missing dimension -> off-grid.
+        assert space.nearest_flat_index({"x": 0.5}) is None
+        # Beyond half a cell outside the box -> off-grid.
+        assert space.nearest_flat_index({"x": 1.2, "p": 0.5}) is None
+        assert space.nearest_flat_index({"x": -0.2, "p": 0.5}) is None
+        # Within half a cell of the edge -> snapped in.
+        assert space.nearest_flat_index({"x": 1.1, "p": 0.5}) == 4
+        # Pinned dimension tolerates only tiny relative drift.
+        assert space.nearest_flat_index({"x": 0.0, "p": 0.5 + 1e-12}) == 0
+        assert space.nearest_flat_index({"x": 0.0, "p": 0.51}) is None
 
 
 class TestRegion:

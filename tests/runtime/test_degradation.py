@@ -89,6 +89,79 @@ class TestSurvivingPlanFallback:
         assert strategy.route(40.0, stats).plan == preferred
 
 
+class TestRoutingTableUnderFaults:
+    """The precomputed argmin routing table and its fault-path wiring:
+    ``on_fault`` must invalidate the table so post-crash routes are
+    re-derived against the surviving plan set, and recovery must
+    rebuild it back to the healthy decisions."""
+
+    def test_on_grid_routes_hit_the_table(self, compiled):
+        query, estimate, cluster, solution = compiled
+        strategy = RLDStrategy(solution)
+        assert strategy.routing_table_enabled
+        stats = estimate.point  # the estimate midpoint is a grid point
+
+        plan = strategy.route(0.0, stats).plan
+        assert strategy.table_hits == 1
+        assert strategy.table_misses == 0
+        assert strategy.table_rebuilds == 1
+        # Repeat routes reuse the table without rebuilding.
+        assert strategy.route(1.0, stats).plan == plan
+        assert strategy.table_hits == 2
+        assert strategy.table_rebuilds == 1
+
+    def test_off_grid_stats_fall_back_to_live_evaluation(self, compiled):
+        query, estimate, cluster, solution = compiled
+        strategy = RLDStrategy(solution)
+        stats = estimate.point
+        hi = solution.space.full_region().pnt_hi
+        rate_dim = next(d for d in solution.space.dimensions if d.name == "rate")
+        off_grid = stats.replacing(rate=hi["rate"] + rate_dim.cell_width)
+
+        strategy.route(0.0, off_grid)
+        assert strategy.table_hits == 0
+        assert strategy.table_misses == 1
+
+    def test_crash_invalidates_and_rebuilds_the_table(self, compiled):
+        query, estimate, cluster, solution = compiled
+        strategy = RLDStrategy(solution)
+        stats = estimate.point
+
+        preferred = strategy.route(0.0, stats).plan
+        assert strategy.table_rebuilds == 1
+        bottleneck = strategy.bottleneck_node(preferred, stats)
+
+        strategy.on_fault(None, FaultEvent(time=10.0, kind="crash", node=bottleneck))
+        fallback = strategy.route(10.0, stats).plan
+        # The post-crash decision came from a *rebuilt* table, not a
+        # live-path miss, and avoids the dead bottleneck.
+        assert strategy.table_rebuilds == 2
+        assert strategy.table_misses == 0
+        assert fallback != preferred
+        assert strategy.bottleneck_node(fallback, stats) != bottleneck
+
+        strategy.on_fault(None, FaultEvent(time=40.0, kind="recover", node=bottleneck))
+        assert strategy.route(40.0, stats).plan == preferred
+        assert strategy.table_rebuilds == 3
+
+    def test_rebuilt_table_matches_live_decisions(self, compiled):
+        """The vectorized degraded-mode table must agree with the scalar
+        live path at every grid point it covers."""
+        query, estimate, cluster, solution = compiled
+        tabled = RLDStrategy(solution)
+        live = RLDStrategy(solution)
+        stats = estimate.point
+        bottleneck = tabled.bottleneck_node(tabled.route(0.0, stats).plan, stats)
+        for strategy in (tabled, live):
+            strategy.on_fault(
+                None, FaultEvent(time=10.0, kind="crash", node=bottleneck)
+            )
+        space = solution.space
+        for flat in range(0, space.n_points, max(1, space.n_points // 97)):
+            point = space.point_at(space.index_of_flat(flat))
+            assert tabled.route(10.0, point).plan == live._route_live(point)
+
+
 class TestDegradationHeadToHead:
     """System-level: the three strategies under the identical crash."""
 

@@ -41,6 +41,24 @@ class TestCompile:
         )
         assert code == 1
 
+    def test_compile_profile_prints_stage_breakdown(self, capsys):
+        code = main(
+            ["compile", "--query", "q1", "--nodes", "4", "--capacity", "380",
+             "--level", "2", "--rate-level", "0", "--profile"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "compile-time profile:" in out
+        assert "partitioning (ERP)" in out
+        assert "robustness (weights + loads)" in out
+        assert "physical mapping" in out
+        assert "total" in out
+        assert "cost-tensor build" in out
+
+    def test_compile_without_profile_omits_breakdown(self, capsys):
+        main(["compile", "--query", "q1", "--level", "2", "--rate-level", "0"])
+        assert "compile-time profile:" not in capsys.readouterr().out
+
     def test_compile_nway(self, capsys):
         code = main(
             ["compile", "--query", "nway:4", "--nodes", "3",
