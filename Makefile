@@ -7,13 +7,27 @@
 PYTHON ?= python
 PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test chaos bench bench-tables examples all
+.PHONY: install test lint chaos bench bench-tables examples all
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -x -q
+
+# Static gates: the repro-lint invariant checker over the whole
+# package, then mypy --strict over the determinism/parity-critical
+# packages (core + query; config in pyproject.toml).  mypy is an
+# optional dev dependency — when it is not installed the type gate is
+# skipped with a notice so `make lint` still works in minimal
+# environments; CI always installs it, so the gate is enforced there.
+lint:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro lint
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy --strict src/repro/core src/repro/query; \
+	else \
+		echo "mypy not installed; skipping the strict-typing gate (CI enforces it)"; \
+	fi
 
 chaos:
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro simulate --query q1 --duration 150 \

@@ -1,0 +1,42 @@
+"""`repro-lint`: AST-based enforcement of the repo's reproducibility contracts.
+
+PRs 1-2 made determinism and scalar/batch parity *load-bearing*: seeded
+fault injection replays bit-identically, and every argmin-based plan
+decision assumes the cost tensors it reads are immutable and bitwise
+equal to the scalar path.  Nothing in Python stops one stray
+``random.random()``, ``time.time()``, or in-place write to a cached
+tensor from silently breaking those contracts — so this package checks
+them statically.
+
+Layout:
+
+* :mod:`repro.analysis.report` — :class:`Diagnostic` and the
+  text/JSON renderers.
+* :mod:`repro.analysis.rules` — the :class:`Rule` protocol, the
+  per-file :class:`FileContext`, and the rule registry.
+* :mod:`repro.analysis.engine` — file discovery, suppression-comment
+  parsing, and the :class:`LintRunner` that drives rules over a tree.
+* :mod:`repro.analysis.checks` — one module per rule (the rule
+  catalog lives in ``docs/static-analysis.md``).
+
+The CLI front-end is ``repro lint`` (see :mod:`repro.cli`); CI and
+``make lint`` gate on its exit code.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import LintRunner, lint_paths
+from repro.analysis.report import Diagnostic, LintReport, render_json, render_text
+from repro.analysis.rules import FileContext, Rule, default_rules
+
+__all__ = [
+    "Diagnostic",
+    "FileContext",
+    "LintReport",
+    "LintRunner",
+    "Rule",
+    "default_rules",
+    "lint_paths",
+    "render_json",
+    "render_text",
+]

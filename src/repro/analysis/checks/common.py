@@ -1,0 +1,62 @@
+"""Shared AST helpers for the rule modules.
+
+Two recurring needs: resolving an attribute chain to a dotted name
+(``np.random.default_rng`` from nested ``Attribute`` nodes) and
+tracking what local names an ``import`` bound to which modules, so
+rules can see through aliases like ``import numpy as np`` or
+``from time import perf_counter as clock``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["dotted_name", "ImportMap"]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ImportMap:
+    """Local-name → canonical dotted-name bindings from import statements.
+
+    ``import numpy as np`` binds ``np -> numpy``;
+    ``from datetime import datetime as dt`` binds
+    ``dt -> datetime.datetime``.  :meth:`canonical` rewrites a dotted
+    expression through these bindings, so a rule can match the
+    canonical ``numpy.random.default_rng`` however the file spells it.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self._bindings: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    target = alias.name if alias.asname else alias.name.split(".", 1)[0]
+                    self._bindings[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self._bindings[local] = f"{node.module}.{alias.name}"
+
+    def canonical(self, node: ast.AST) -> str | None:
+        """Canonical dotted name of an expression, through import aliases."""
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        resolved = self._bindings.get(head, head)
+        return f"{resolved}.{rest}" if rest else resolved

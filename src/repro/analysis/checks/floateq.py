@@ -1,0 +1,172 @@
+"""``no-float-eq``: no ``==`` / ``!=`` on float-typed expressions.
+
+The parity contract (PR 2) promises the batch kernels are *bitwise*
+identical to the scalar path — which is exactly why ad-hoc float
+equality elsewhere is a trap: a comparison that happens to hold today
+breaks the moment an accumulation order changes, and the failure is a
+silent behavioural flip, not an exception.  Designated parity tests
+compare floats exactly *on purpose*; production code should compare
+against exact sentinels only with a justified suppression, and
+otherwise use ordering (``<=``) or ``math.isclose``.
+
+Float-ness is inferred file-locally (no cross-module type inference):
+
+* ``float`` literals (``0.0``), calls to ``float(...)``, true division
+  results, and ``math.*`` transcendentals are float;
+* names/attributes/functions *annotated* ``float`` anywhere in the
+  file (parameters, ``AnnAssign``, dataclass fields, ``-> float``
+  returns, properties) are float;
+* a binary operation is float when either side is.
+
+This is deliberately a heuristic: it reports only comparisons it can
+*prove* involve floats from local evidence, so it has misses but no
+annotation-free false positives.  The fixture suite pins both sides.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checks.common import dotted_name
+from repro.analysis.rules import FileContext, Rule
+
+__all__ = ["NoFloatEqRule"]
+
+_MATH_FLOAT_FUNCS = frozenset(
+    {
+        "math.sqrt",
+        "math.exp",
+        "math.log",
+        "math.log2",
+        "math.log10",
+        "math.sin",
+        "math.cos",
+        "math.tan",
+        "math.hypot",
+        "math.fsum",
+        "math.fabs",
+        # floor/ceil deliberately absent: they return int in Python 3.
+        "math.pow",
+        "math.fmod",
+    }
+)
+
+
+def _is_float_annotation(annotation: ast.expr | None) -> bool:
+    """True for ``float`` and ``float``-containing unions (``float | None``)."""
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Name):
+        return annotation.id == "float"
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        try:
+            return _is_float_annotation(ast.parse(annotation.value, mode="eval").body)
+        except SyntaxError:
+            return False
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        return _is_float_annotation(annotation.left) or _is_float_annotation(
+            annotation.right
+        )
+    return False
+
+
+class _FloatFacts:
+    """File-local names/attributes/callables known to be float-typed."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.names: set[str] = set()
+        self.attrs: set[str] = set()
+        self.funcs: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                for arg in [
+                    *args.posonlyargs,
+                    *args.args,
+                    *args.kwonlyargs,
+                    args.vararg,
+                    args.kwarg,
+                ]:
+                    if arg is not None and _is_float_annotation(arg.annotation):
+                        self.names.add(arg.arg)
+                if _is_float_annotation(node.returns):
+                    self.funcs.add(node.name)
+                    # A float-returning method doubles as a float
+                    # attribute when decorated @property.
+                    for decorator in node.decorator_list:
+                        if (
+                            isinstance(decorator, ast.Name)
+                            and decorator.id == "property"
+                        ):
+                            self.attrs.add(node.name)
+            elif isinstance(node, ast.AnnAssign):
+                if not _is_float_annotation(node.annotation):
+                    continue
+                if isinstance(node.target, ast.Name):
+                    # Class-body AnnAssigns (dataclass fields) also make
+                    # the name available as a float attribute.
+                    self.names.add(node.target.id)
+                    self.attrs.add(node.target.id)
+                elif isinstance(node.target, ast.Attribute):
+                    self.attrs.add(node.target.attr)
+
+
+class NoFloatEqRule(Rule):
+    name = "no-float-eq"
+    description = (
+        "== / != on float-typed expressions; use ordering or math.isclose "
+        "(designated parity tests excepted)"
+    )
+    scope = ("src/repro",)
+    # Parity tests compare floats bitwise by design; the scalar/batch
+    # equivalence suites live under tests/ and are not linted by
+    # default, but keep them exempt even for explicit invocations.
+    allow = ()
+
+    def check(self, context: FileContext) -> None:
+        facts = _FloatFacts(context.tree)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if self._is_float(left, facts) or self._is_float(right, facts):
+                    context.report(
+                        self,
+                        node,
+                        "exact equality on a float-typed expression; prefer "
+                        "ordering/tolerance, or suppress with a sentinel "
+                        "justification",
+                    )
+                    break
+
+    def _is_float(self, node: ast.expr, facts: _FloatFacts) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.Name):
+            return node.id in facts.names
+        if isinstance(node, ast.Attribute):
+            return node.attr in facts.attrs
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name):
+                return node.func.id == "float" or node.func.id in facts.funcs
+            if isinstance(node.func, ast.Attribute):
+                if node.func.attr in facts.funcs:
+                    return True
+                return (dotted_name(node.func) or "") in _MATH_FLOAT_FUNCS
+            return False
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Div):
+                return True
+            return self._is_float(node.left, facts) or self._is_float(
+                node.right, facts
+            )
+        if isinstance(node, ast.UnaryOp):
+            return self._is_float(node.operand, facts)
+        if isinstance(node, ast.IfExp):
+            return self._is_float(node.body, facts) or self._is_float(
+                node.orelse, facts
+            )
+        return False

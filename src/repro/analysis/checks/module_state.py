@@ -1,0 +1,56 @@
+"""``no-module-mutable-state``: no mutable containers at module scope.
+
+Module-level lists/dicts/sets are process-wide state: one caller's
+mutation leaks into every other caller, across tests, and across
+simulated runs that are supposed to be independent.  In ``core/`` and
+``query/`` — the deterministic compile pipeline — constants must be
+immutable: tuples, ``frozenset``, or ``types.MappingProxyType``.
+
+``__all__`` and other dunders are exempt (convention predates this
+rule and the import system treats them read-only in practice), as are
+``TypeVar``-style assignments that merely *call* something returning
+an immutable object.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checks.mutable_defaults import is_mutable_value
+from repro.analysis.rules import FileContext, Rule
+
+__all__ = ["NoModuleMutableStateRule"]
+
+
+class NoModuleMutableStateRule(Rule):
+    name = "no-module-mutable-state"
+    description = (
+        "module-level mutable container is process-wide shared state; use "
+        "a tuple / frozenset / MappingProxyType"
+    )
+    scope = ("src/repro/core", "src/repro/query")
+
+    def check(self, context: FileContext) -> None:
+        for statement in context.tree.body:
+            targets: list[ast.expr]
+            value: ast.expr | None
+            if isinstance(statement, ast.Assign):
+                targets, value = statement.targets, statement.value
+            elif isinstance(statement, ast.AnnAssign):
+                targets, value = [statement.target], statement.value
+            else:
+                continue
+            if value is None or not is_mutable_value(value):
+                continue
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if not names:
+                continue
+            if all(name.startswith("__") and name.endswith("__") for name in names):
+                continue
+            context.report(
+                self,
+                statement,
+                f"module-level mutable container {', '.join(names)!s}; "
+                "freeze it (tuple / frozenset / types.MappingProxyType) so "
+                "runs cannot couple through it",
+            )

@@ -1,0 +1,67 @@
+"""``no-mutable-default``: no shared mutable default arguments.
+
+A ``def f(xs=[])`` default is evaluated once and shared across calls —
+hidden global state in a package whose contract is that results are a
+pure function of explicit inputs and seeds.  Flagged defaults: list /
+dict / set displays and comprehensions, and calls to ``list`` /
+``dict`` / ``set`` / ``bytearray`` / ``collections.defaultdict`` /
+``collections.deque``.  Use ``None`` plus an in-body default instead.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checks.common import dotted_name
+from repro.analysis.rules import FileContext, Rule
+
+__all__ = ["NoMutableDefaultRule", "is_mutable_value"]
+
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "bytearray",
+        "collections.defaultdict",
+        "collections.deque",
+        "defaultdict",
+        "deque",
+    }
+)
+
+
+def is_mutable_value(node: ast.expr) -> bool:
+    """True for expressions that build a (shared-able) mutable container."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+class NoMutableDefaultRule(Rule):
+    name = "no-mutable-default"
+    description = (
+        "mutable default argument is shared across calls; default to None "
+        "and build inside the body"
+    )
+    scope = ("src/repro/core", "src/repro/query")
+
+    def check(self, context: FileContext) -> None:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = [*node.args.defaults, *node.args.kw_defaults]
+            for default in defaults:
+                if default is not None and is_mutable_value(default):
+                    context.report(
+                        self,
+                        default,
+                        f"mutable default in {node.name}(); one instance is "
+                        "shared across every call — use None and construct "
+                        "in the body",
+                    )

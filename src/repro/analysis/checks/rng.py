@@ -1,0 +1,77 @@
+"""``no-unseeded-rng``: all entropy flows through ``repro.util.rng``.
+
+The determinism contract (PR 1) is that one integer seed reproduces an
+entire run bit-for-bit.  That only holds while every random draw comes
+from a generator derived via :func:`repro.util.rng.derive_rng` or
+:class:`repro.util.rng.SeedSequenceFactory`.  A bare ``random.random()``
+or ``np.random.default_rng()`` pulls OS entropy outside the seed tree
+and silently breaks replay, so inside the simulation/compile packages
+this rule flags:
+
+* any import of the stdlib ``random`` module (its module-level
+  functions share hidden global state — even ``random.seed`` calls
+  would race across components), and
+* any *call* into the ``numpy.random`` namespace.  Non-call references
+  (``np.random.Generator`` in an annotation or ``isinstance`` check)
+  stay legal — they name types, they do not draw entropy.
+
+``repro/util/rng.py`` is the one allowlisted home for the real calls.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checks.common import ImportMap
+from repro.analysis.rules import FileContext, Rule
+
+__all__ = ["NoUnseededRngRule"]
+
+
+class NoUnseededRngRule(Rule):
+    name = "no-unseeded-rng"
+    description = (
+        "bare random.* / np.random.* outside repro/util/rng.py breaks "
+        "seed-reproducibility"
+    )
+    scope = (
+        "src/repro/engine",
+        "src/repro/core",
+        "src/repro/runtime",
+        "src/repro/workloads",
+    )
+    allow = ("src/repro/util/rng.py",)
+
+    def check(self, context: FileContext) -> None:
+        imports = ImportMap(context.tree)
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        context.report(
+                            self,
+                            node,
+                            "stdlib 'random' has hidden global state; use "
+                            "repro.util.rng.derive_rng / SeedSequenceFactory",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "random":
+                    context.report(
+                        self,
+                        node,
+                        "importing from stdlib 'random' bypasses the seed "
+                        "tree; use repro.util.rng instead",
+                    )
+            elif isinstance(node, ast.Call):
+                canonical = imports.canonical(node.func)
+                if canonical is None:
+                    continue
+                if canonical.startswith("numpy.random.") or canonical.startswith(
+                    "random."
+                ):
+                    context.report(
+                        self,
+                        node,
+                        f"direct call to {canonical}; route entropy through "
+                        "repro.util.rng so one seed reproduces the run",
+                    )

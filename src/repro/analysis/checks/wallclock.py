@@ -1,0 +1,71 @@
+"""``no-wallclock``: simulation and compile paths never read the clock.
+
+Simulated time is event-loop time: the engine advances a virtual clock
+so that a run's observable behaviour is a pure function of its inputs
+and seed.  Reading ``time.time()`` (or any host clock) inside those
+paths couples results to machine speed and breaks bit-for-bit replay.
+
+Legitimate wall-clock needs — compile-time profiling, benchmark
+timing — go through :mod:`repro.util.timing` (:class:`StageTimer`,
+:class:`Stopwatch`), the single allowlisted home of
+``time.perf_counter``.  Everything else in the scoped packages is
+flagged, whether called through the module (``time.time()``) or a
+``from time import perf_counter`` alias.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checks.common import ImportMap
+from repro.analysis.rules import FileContext, Rule
+
+__all__ = ["NoWallclockRule"]
+
+#: Canonical dotted names of host-clock reads.
+_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+class NoWallclockRule(Rule):
+    name = "no-wallclock"
+    description = (
+        "host-clock reads in simulation/compile paths; use "
+        "repro.util.timing (StageTimer/Stopwatch) instead"
+    )
+    scope = (
+        "src/repro/engine",
+        "src/repro/core",
+        "src/repro/runtime",
+        "src/repro/workloads",
+    )
+    allow = ("src/repro/util/timing.py",)
+
+    def check(self, context: FileContext) -> None:
+        imports = ImportMap(context.tree)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = imports.canonical(node.func)
+            if canonical in _CLOCK_CALLS:
+                context.report(
+                    self,
+                    node,
+                    f"{canonical}() reads the host clock; deterministic "
+                    "paths must use simulated time, and profiling must go "
+                    "through repro.util.timing",
+                )

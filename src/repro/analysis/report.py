@@ -1,0 +1,89 @@
+"""Diagnostics and the text/JSON renderers for ``repro lint``.
+
+A :class:`Diagnostic` is one finding anchored to a file position; a
+:class:`LintReport` aggregates the findings of a run plus the files
+examined, and knows its process exit code.  Rendering is kept apart
+from rule logic so rules stay pure AST-walkers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["Diagnostic", "LintReport", "render_text", "render_json"]
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One lint finding, ordered by position for stable output."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def location(self) -> str:
+        """``path:line:col`` — the clickable anchor of the finding."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run over a set of files."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        """0 when the tree is clean, 1 when any finding survived."""
+        return 1 if self.diagnostics else 0
+
+    def counts_by_rule(self) -> dict[str, int]:
+        """Finding counts per rule name, sorted by rule name."""
+        counts: dict[str, int] = {}
+        for diag in self.diagnostics:
+            counts[diag.rule] = counts.get(diag.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable findings, one per line, with a summary footer."""
+    lines = [
+        f"{diag.location()}: [{diag.rule}] {diag.message}"
+        for diag in sorted(report.diagnostics)
+    ]
+    if report.diagnostics:
+        by_rule = ", ".join(
+            f"{rule}: {count}" for rule, count in report.counts_by_rule().items()
+        )
+        lines.append("")
+        lines.append(
+            f"{len(report.diagnostics)} finding(s) in "
+            f"{report.files_checked} file(s) checked ({by_rule})"
+        )
+    else:
+        lines.append(f"clean: {report.files_checked} file(s) checked, 0 findings")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report (stable schema, version field included)."""
+    payload = {
+        "version": 1,
+        "files_checked": report.files_checked,
+        "counts": report.counts_by_rule(),
+        "diagnostics": [
+            {
+                "path": diag.path,
+                "line": diag.line,
+                "col": diag.col,
+                "rule": diag.rule,
+                "message": diag.message,
+            }
+            for diag in sorted(report.diagnostics)
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

@@ -9,7 +9,10 @@ Three subcommands, mirroring the library's workflow::
 
 ``compile`` prints the robust logical solution and physical plan;
 ``diagram`` renders the 2-D plan diagram of a space as ASCII;
-``simulate`` runs the §6.5 strategy comparison and prints the table.
+``simulate`` runs the §6.5 strategy comparison and prints the table;
+``lint`` runs the :mod:`repro.analysis` invariant checker over the
+tree (``repro lint --format json`` for machine consumption, exit code
+1 on findings — the gate ``make lint`` and CI run).
 ``simulate --faults`` additionally injects infrastructure failures
 (see :meth:`repro.engine.faults.FaultSchedule.parse` for the grammar;
 ``--faults random`` generates seeded chaos)::
@@ -24,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.core import Cluster, RLDConfig, RLDOptimizer, ParameterSpace
@@ -179,6 +183,30 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import LintRunner, render_json, render_text
+    from repro.analysis.rules import default_rules, resolve_rules
+
+    rules = default_rules()
+    if args.list_rules:
+        width = max(len(rule.name) for rule in rules)
+        for rule in rules:
+            print(f"{rule.name:<{width}}  {rule.description}")
+        return 0
+    try:
+        rules = resolve_rules(rules, args.disable or ())
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    root = Path(args.root).resolve()
+    paths = [root / p for p in (args.paths or ["src/repro"])]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        raise SystemExit(f"no such path(s): {', '.join(missing)}")
+    report = LintRunner(rules, root=root).run(paths)
+    print(render_json(report) if args.format == "json" else render_text(report))
+    return report.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -242,6 +270,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for '--faults random' (defaults to --seed)",
     )
     p_sim.set_defaults(handler=_cmd_simulate)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the repro-lint invariant checker (repro.analysis)"
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories relative to --root (default: src/repro)",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    p_lint.add_argument(
+        "--root",
+        default=".",
+        help="repository root that rule path scopes are resolved against",
+    )
+    p_lint.add_argument(
+        "--disable",
+        nargs="*",
+        metavar="RULE",
+        help="rule names to skip for this run",
+    )
+    p_lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    p_lint.set_defaults(handler=_cmd_lint)
     return parser
 
 

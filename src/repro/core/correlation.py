@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.core.parameter_space import GridIndex, ParameterSpace, Region
 from repro.util.validation import ensure_positive
+from repro.util.types import FloatArray
 
 __all__ = ["CorrelatedOccurrenceModel"]
 
@@ -118,10 +119,10 @@ class CorrelatedOccurrenceModel:
         """The parameter space this model covers."""
         return self._space
 
-    def _cdf(self, upper: np.ndarray) -> float:
+    def _cdf(self, upper: FloatArray) -> float:
         return float(self._mvn.cdf(upper))
 
-    def _box_mass(self, lows: np.ndarray, highs: np.ndarray) -> float:
+    def _box_mass(self, lows: FloatArray, highs: FloatArray) -> float:
         """Inclusion–exclusion over the 2^d corners of the box."""
         d = len(lows)
         total = 0.0

@@ -31,7 +31,6 @@ no argmin over tuples, but every consumer picks plans by a key like
 
 from __future__ import annotations
 
-import time
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -39,13 +38,15 @@ import numpy as np
 from repro.core.parameter_space import GridIndex, ParameterSpace
 from repro.query.cost import PlanCostModel
 from repro.query.plans import LogicalPlan
+from repro.util.timing import Stopwatch
+from repro.util.types import FloatArray, IntArray
 
 __all__ = ["CostTensorCache", "lexicographic_argmin"]
 
 
 def lexicographic_argmin(
-    keys: Sequence[np.ndarray], ranks: np.ndarray
-) -> np.ndarray:
+    keys: Sequence[FloatArray], ranks: IntArray
+) -> IntArray:
     """Columnwise argmin over stacked ``(n_candidates, n_points)`` keys.
 
     For each point (column), returns the candidate row minimizing the
@@ -102,9 +103,13 @@ class CostTensorCache:
         self._ranks = np.empty(len(self._plans), dtype=np.intp)
         for rank, plan_index in enumerate(ordered):
             self._ranks[plan_index] = rank
+        # Shared by reference with every consumer, like the tensors:
+        # frozen so an accidental in-place write raises instead of
+        # silently re-ordering every future tie-break.
+        self._ranks.setflags(write=False)
         self._names = list(space.names)
-        self._cost_tensor: np.ndarray | None = None
-        self._load_tensors: dict[int, dict[int, np.ndarray]] = {}
+        self._cost_tensor: FloatArray | None = None
+        self._load_tensors: dict[int, dict[int, FloatArray]] = {}
         self._build_seconds = 0.0
 
     @property
@@ -133,7 +138,7 @@ class CostTensorCache:
         return self._space.n_points
 
     @property
-    def plan_ranks(self) -> np.ndarray:
+    def plan_ranks(self) -> IntArray:
         """Per-plan lexicographic tie-break ranks (see ctor)."""
         return self._ranks
 
@@ -147,7 +152,7 @@ class CostTensorCache:
         return self._plans.index(plan)
 
     @property
-    def cost_tensor(self) -> np.ndarray:
+    def cost_tensor(self) -> FloatArray:
         """The ``(n_plans, n_points)`` plan-cost tensor (memoized).
 
         Row ``i`` is ``plans[i]``'s cost at every grid point, in the
@@ -155,17 +160,17 @@ class CostTensorCache:
         are bitwise identical to ``cost_model.plan_cost``.
         """
         if self._cost_tensor is None:
-            start = time.perf_counter()
+            watch = Stopwatch()
             grid = self._space.grid_matrix()
             tensor = np.empty((len(self._plans), grid.shape[0]))
             for i, plan in enumerate(self._plans):
                 tensor[i] = self._cost_model.plan_costs(plan, grid, self._names)
             tensor.setflags(write=False)
             self._cost_tensor = tensor
-            self._build_seconds += time.perf_counter() - start
+            self._build_seconds += watch.seconds
         return self._cost_tensor
 
-    def load_tensor(self, plan_index: int) -> dict[int, np.ndarray]:
+    def load_tensor(self, plan_index: int) -> dict[int, FloatArray]:
         """Per-operator load vectors of ``plans[plan_index]`` (memoized).
 
         Maps operator id to its ``(n_points,)`` load at every grid
@@ -173,17 +178,17 @@ class CostTensorCache:
         """
         cached = self._load_tensors.get(plan_index)
         if cached is None:
-            start = time.perf_counter()
+            watch = Stopwatch()
             cached = self._cost_model.operator_loads_batch(
                 self._plans[plan_index], self._space.grid_matrix(), self._names
             )
             for vector in cached.values():
                 vector.setflags(write=False)
             self._load_tensors[plan_index] = cached
-            self._build_seconds += time.perf_counter() - start
+            self._build_seconds += watch.seconds
         return cached
 
-    def min_costs(self, plan_indices: Sequence[int] | None = None) -> np.ndarray:
+    def min_costs(self, plan_indices: Sequence[int] | None = None) -> FloatArray:
         """Cheapest-cost vector over a plan subset — ``min over plans``.
 
         The single home of the repeated
@@ -198,7 +203,7 @@ class CostTensorCache:
 
     def best_plan_per_point(
         self, plan_indices: Sequence[int] | None = None
-    ) -> np.ndarray:
+    ) -> IntArray:
         """Index (into :attr:`plans`) of the cheapest plan at each point.
 
         Ties break toward the lexicographically smaller plan ordering —
@@ -214,11 +219,11 @@ class CostTensorCache:
         )
         return subset[best]
 
-    def costs_at(self, plan_index: int, flat_indices: np.ndarray) -> np.ndarray:
+    def costs_at(self, plan_index: int, flat_indices: IntArray) -> FloatArray:
         """Cost-tensor slice: one plan's costs at selected flat points."""
         return self.cost_tensor[plan_index, flat_indices]
 
-    def flat_indices(self, indices: Iterable[GridIndex]) -> np.ndarray:
+    def flat_indices(self, indices: Iterable[GridIndex]) -> IntArray:
         """Row-major flat positions of grid indices (tensor columns)."""
         return np.fromiter(
             (self._space.flat_index(index) for index in indices), dtype=np.intp

@@ -11,7 +11,6 @@ contrast is exactly what Figure 13 plots.
 
 from __future__ import annotations
 
-import time
 from typing import Iterator
 
 from repro.core.physical import (
@@ -20,6 +19,7 @@ from repro.core.physical import (
     PhysicalPlanResult,
     PlanLoadTable,
 )
+from repro.util.timing import Stopwatch
 
 __all__ = ["exhaustive_physical", "enumerate_partitions"]
 
@@ -73,7 +73,7 @@ def exhaustive_physical(
     ``partition_limit`` partitions rather than silently truncating the
     search — an exhaustive baseline must actually be exhaustive.
     """
-    start = time.perf_counter()
+    watch = Stopwatch()
     capacity = cluster.uniform_capacity
     ops = list(table.operator_ids)
     index_to_op = {i: op_id for i, op_id in enumerate(ops)}
@@ -109,7 +109,7 @@ def exhaustive_physical(
             best_mask = mask
             best_n_blocks = len(partition)
 
-    elapsed = time.perf_counter() - start
+    elapsed = watch.seconds
     if best_blocks is None or best_mask == 0:
         return PhysicalPlanResult(
             algorithm="ES-phy",

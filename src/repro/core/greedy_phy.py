@@ -15,7 +15,6 @@ at most ``|LP|`` LLF rounds.
 
 from __future__ import annotations
 
-import time
 from typing import Mapping
 
 from repro.core.physical import (
@@ -24,6 +23,7 @@ from repro.core.physical import (
     PhysicalPlanResult,
     PlanLoadTable,
 )
+from repro.util.timing import Stopwatch
 
 __all__ = ["largest_load_first", "greedy_phy"]
 
@@ -109,7 +109,7 @@ def greedy_phy(
             f"unknown drop_policy {drop_policy!r}; use "
             "'min-weight-max-ops' or 'min-weight'"
         )
-    start = time.perf_counter()
+    watch = Stopwatch()
     mask = table.full_mask
     rounds = 0
     while mask:
@@ -126,7 +126,7 @@ def greedy_phy(
                 physical_plan=plan,
                 supported_plans=table.plans_in_mask(supported),
                 score=table.score(supported),
-                compile_seconds=time.perf_counter() - start,
+                compile_seconds=watch.seconds,
                 nodes_explored=rounds,
             )
         drop = _min_weight_plan_index(table, mask, policy=drop_policy)
@@ -136,6 +136,6 @@ def greedy_phy(
         physical_plan=None,
         supported_plans=(),
         score=0.0,
-        compile_seconds=time.perf_counter() - start,
+        compile_seconds=watch.seconds,
         nodes_explored=rounds,
     )

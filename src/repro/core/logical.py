@@ -27,6 +27,7 @@ from repro.core.parameter_space import GridIndex, ParameterSpace, Region
 from repro.query.cost import PlanCostModel
 from repro.query.model import Query
 from repro.query.plans import LogicalPlan
+from repro.util.rng import derive_rng
 from repro.query.statistics import StatPoint
 
 __all__ = ["RobustLogicalSolution", "PlanDiscovery"]
@@ -185,7 +186,7 @@ class RobustLogicalSolution:
         """
         if self._space.n_points <= MAX_EXACT_GRID_POINTS:
             return list(self._space.grid_indices())
-        rng = np.random.default_rng(20121107)  # fixed: results must be stable
+        rng = derive_rng(20121107)  # fixed: results must be stable
         shape = self._space.shape
         sample = {
             tuple(int(rng.integers(0, s)) for s in shape)

@@ -60,7 +60,7 @@ class NormalOccurrenceModel:
                 0.5 * (dim.lo + dim.hi)
             )
             half_width = 0.5 * dim.width
-            if half_width == 0.0:
+            if half_width <= 0.0:
                 # Pinned dimension: all mass on its single value.
                 sigma = 0.0
             else:
@@ -88,7 +88,7 @@ class NormalOccurrenceModel:
     def _dim_probability(self, dim: int, lo_index: int, hi_index: int) -> float:
         """Normal mass of grid indices ``[lo_index..hi_index]`` on ``dim``."""
         sigma = self._sigmas[dim]
-        if sigma == 0.0:
+        if sigma <= 0.0:
             return 1.0
         mean = self._means[dim]
         lo_value, _ = self._cell_interval(dim, lo_index)

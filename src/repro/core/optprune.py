@@ -20,8 +20,6 @@ so each set partition is generated exactly once.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.core.greedy_phy import greedy_phy, largest_load_first
@@ -31,6 +29,8 @@ from repro.core.physical import (
     PhysicalPlanResult,
     PlanLoadTable,
 )
+from repro.util.timing import Stopwatch
+from repro.util.types import FloatArray
 
 __all__ = [
     "opt_prune",
@@ -42,7 +42,7 @@ __all__ = [
 _MAX_OPERATORS = 18
 
 
-def _subset_loads(table: PlanLoadTable) -> tuple[list[int], np.ndarray]:
+def _subset_loads(table: PlanLoadTable) -> tuple[list[int], FloatArray]:
     """Per-plan total loads for every operator subset (bitmask indexed).
 
     Returns the sorted operator ids and a ``(n_plans, 2^m)`` matrix
@@ -143,7 +143,7 @@ def opt_prune(
     matters for runtime queueing.  Score and supported plans — the
     quantities Figures 13–14 compare — are identical either way.
     """
-    start = time.perf_counter()
+    watch = Stopwatch()
     capacity = cluster.uniform_capacity
     n_nodes = cluster.n_nodes
     ops = list(table.operator_ids)
@@ -200,7 +200,7 @@ def opt_prune(
     if configs:
         search(all_ops_mask, 0, table.full_mask, [])
 
-    elapsed = time.perf_counter() - start
+    elapsed = watch.seconds
     if best_assignment is None:
         # OptPrune found nothing better than greedy; fall back to greedy
         # (which may itself be infeasible).
@@ -254,7 +254,7 @@ def opt_prune_heterogeneous(
     clusters prefer :func:`opt_prune`, whose set-partition search is
     far tighter.
     """
-    start = time.perf_counter()
+    watch = Stopwatch()
     ops = list(table.operator_ids)
     if len(ops) > _MAX_OPERATORS:
         raise ValueError(
@@ -318,7 +318,7 @@ def opt_prune_heterogeneous(
         return False
 
     search(0)
-    elapsed = time.perf_counter() - start
+    elapsed = watch.seconds
     if best_assignment is None:
         return PhysicalPlanResult(
             algorithm="OptPrune-hetero",

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.query.statistics import StatisticsEstimate, StatPoint
 from repro.util.validation import ensure_non_empty, ensure_positive
+from repro.util.types import FloatArray, IntArray
 
 __all__ = ["Dimension", "ParameterSpace", "Region", "GridIndex"]
 
@@ -62,6 +63,7 @@ class Dimension:
             )
         if self.steps < 1:
             raise ValueError(f"dimension {self.name!r} needs >= 1 step")
+        # repro-lint: disable=no-float-eq -- a one-step dimension is pinned: lo and hi must be the *same* value, bit for bit, or value(0) would silently pick one of two different answers
         if self.steps == 1 and self.hi != self.lo:
             raise ValueError(
                 f"dimension {self.name!r} with one step must have lo == hi"
@@ -98,12 +100,12 @@ class Dimension:
         matching :meth:`nearest_indices` so scalar and vectorized
         lookups can never disagree at cell boundaries.
         """
-        if self.steps == 1 or self.cell_width == 0:
+        if self.steps == 1 or self.cell_width <= 0:
             return 0
         raw = round((value - self.lo) / self.cell_width)
         return max(0, min(self.steps - 1, int(raw)))
 
-    def values_array(self) -> np.ndarray:
+    def values_array(self) -> FloatArray:
         """All grid values along this dimension as a float array.
 
         Entry ``i`` is computed as ``lo + i·cell_width`` — bitwise
@@ -114,14 +116,14 @@ class Dimension:
             return np.array([self.lo])
         return self.lo + np.arange(self.steps) * self.cell_width
 
-    def nearest_indices(self, values: np.ndarray) -> np.ndarray:
+    def nearest_indices(self, values: FloatArray) -> IntArray:
         """Vectorized :meth:`nearest_index` over an array of values.
 
         Uses ``np.rint`` (round-half-to-even), the same rounding rule as
         the scalar path, then clamps to ``[0, steps-1]``.
         """
         values = np.asarray(values, dtype=float)
-        if self.steps == 1 or self.cell_width == 0:
+        if self.steps == 1 or self.cell_width <= 0:
             return np.zeros(values.shape, dtype=np.intp)
         raw = np.rint((values - self.lo) / self.cell_width).astype(np.intp)
         return np.clip(raw, 0, self.steps - 1)
@@ -141,7 +143,7 @@ class ParameterSpace:
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate dimension names: {names}")
         self._dimensions = tuple(dimensions)
-        self._grid_matrix: np.ndarray | None = None
+        self._grid_matrix: FloatArray | None = None
 
     @classmethod
     def from_estimates(
@@ -241,7 +243,7 @@ class ParameterSpace:
             flat //= d.steps
         return tuple(reversed(index))
 
-    def grid_matrix(self) -> np.ndarray:
+    def grid_matrix(self) -> FloatArray:
         """The full grid as a dense ``(n_points, n_dims)`` float array.
 
         Row ``k`` holds the parameter values of the ``k``-th grid index
@@ -260,7 +262,7 @@ class ParameterSpace:
             self._grid_matrix = matrix
         return self._grid_matrix
 
-    def points_matrix(self, indices: Sequence[GridIndex]) -> np.ndarray:
+    def points_matrix(self, indices: Sequence[GridIndex]) -> FloatArray:
         """Dense ``(len(indices), n_dims)`` value matrix for a subset of
         grid indices (same column order as :meth:`grid_matrix`)."""
         idx = np.asarray(list(indices), dtype=np.intp).reshape(-1, self.n_dims)
@@ -268,7 +270,7 @@ class ParameterSpace:
             [d.values_array()[idx[:, i]] for i, d in enumerate(self._dimensions)]
         )
 
-    def nearest_indices(self, values: np.ndarray) -> np.ndarray:
+    def nearest_indices(self, values: FloatArray) -> IntArray:
         """Vectorized :meth:`nearest_index` over a ``(n, n_dims)`` value
         matrix; returns an ``(n, n_dims)`` integer index matrix."""
         values = np.asarray(values, dtype=float)
@@ -370,6 +372,7 @@ class Region:
     @property
     def is_cell(self) -> bool:
         """True when the region is a single grid point."""
+        # repro-lint: disable=no-float-eq -- Region.lo/hi are integer GridIndex tuples, not floats; the file-local float inference conflates them with Dimension.lo/hi
         return self.lo == self.hi
 
     def contains(self, index: GridIndex) -> bool:

@@ -25,6 +25,7 @@ import numpy as np
 from repro.core.logical import RobustLogicalSolution
 from repro.core.occurrence import NormalOccurrenceModel
 from repro.query.plans import LogicalPlan
+from repro.util.types import FloatArray
 from repro.util.validation import ensure_non_empty, ensure_positive
 
 __all__ = [
@@ -120,6 +121,9 @@ class PlanLoadTable:
         self._load_matrix = np.array(
             [[table[op_id] for op_id in self._operator_ids] for table in self._loads]
         )
+        # Shared by reference through the load_matrix property; frozen
+        # so consumers cannot corrupt the mask/score queries below.
+        self._load_matrix.setflags(write=False)
         self._weight_vector = np.array(self._weights)
         if typical_loads is None:
             self._typical = None
@@ -176,7 +180,7 @@ class PlanLoadTable:
         return self._weights[self._plans.index(plan)]
 
     @property
-    def load_matrix(self) -> np.ndarray:
+    def load_matrix(self) -> FloatArray:
         """Dense ``(n_plans, n_ops)`` worst-case load matrix.
 
         Row order is :attr:`plans`; column order :attr:`operator_ids`.

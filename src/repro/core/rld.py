@@ -18,6 +18,7 @@ that never migrates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from types import MappingProxyType
 
 from repro.core.exhaustive_phy import exhaustive_physical
 from repro.core.greedy_phy import greedy_phy
@@ -38,11 +39,14 @@ from repro.util.timing import StageTimer
 __all__ = ["RLDConfig", "RLDSolution", "RLDOptimizer"]
 
 #: Physical algorithms selectable by name in :class:`RLDConfig`.
-_PHYSICAL_ALGORITHMS = {
-    "optprune": opt_prune,
-    "greedy": greedy_phy,
-    "exhaustive": exhaustive_physical,
-}
+#: A MappingProxyType so the registry is read-only process-wide state.
+_PHYSICAL_ALGORITHMS = MappingProxyType(
+    {
+        "optprune": opt_prune,
+        "greedy": greedy_phy,
+        "exhaustive": exhaustive_physical,
+    }
+)
 
 
 @dataclass(frozen=True)

@@ -28,6 +28,7 @@ from repro.core.parameter_space import GridIndex, ParameterSpace, Region
 from repro.query.cost import PlanCostModel
 from repro.query.optimizer import PointOptimizer
 from repro.query.plans import LogicalPlan
+from repro.util.types import BoolArray, FloatArray
 
 __all__ = [
     "RegionCheck",
@@ -141,7 +142,7 @@ def grid_optimal_costs(
 
 def optimal_costs_vector(
     space: ParameterSpace, optimal_costs: Mapping[GridIndex, float]
-) -> np.ndarray:
+) -> FloatArray:
     """Dense ``(n_points,)`` view of a per-index optimal-cost mapping.
 
     Entries follow the row-major order of ``space.grid_indices()`` —
@@ -155,17 +156,17 @@ def optimal_costs_vector(
 
 
 def _robust_mask(
-    costs: np.ndarray,
+    costs: FloatArray,
     space: ParameterSpace,
     optimal_costs: Mapping[GridIndex, float],
     epsilon: float,
-) -> np.ndarray:
+) -> BoolArray:
     """Boolean Def. 1 test of a cost vector against the optimum vector."""
     optimal = optimal_costs_vector(space, optimal_costs)
     return costs <= (1.0 + epsilon) * optimal * (1 + 1e-12)
 
 
-def _indices_of_mask(space: ParameterSpace, mask: np.ndarray) -> set[GridIndex]:
+def _indices_of_mask(space: ParameterSpace, mask: BoolArray) -> set[GridIndex]:
     """Grid indices (tuples) of the set flat positions of ``mask``."""
     return {space.index_of_flat(int(flat)) for flat in np.flatnonzero(mask)}
 

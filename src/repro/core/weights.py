@@ -32,6 +32,7 @@ import numpy as np
 from repro.core.parameter_space import GridIndex, ParameterSpace, Region
 from repro.query.cost import PlanCostModel
 from repro.query.plans import LogicalPlan
+from repro.util.types import FloatArray
 
 __all__ = ["RegionWeights", "WeightAssigner"]
 
@@ -46,7 +47,7 @@ class RegionWeights:
     """
 
     region: Region
-    per_dim: tuple[np.ndarray, ...]
+    per_dim: tuple[FloatArray, ...]
 
     def point_weight(self, index: GridIndex) -> float:
         """Total (summed per-dimension) weight of a grid point."""
@@ -141,7 +142,7 @@ class WeightAssigner:
         corner_values = [
             d.value(region.lo[i]) for i, d in enumerate(self._space.dimensions)
         ]
-        per_dim: list[np.ndarray] = []
+        per_dim: list[FloatArray] = []
         for dim_index, dimension in enumerate(self._space.dimensions):
             lo = region.lo[dim_index]
             hi = region.hi[dim_index]

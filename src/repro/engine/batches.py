@@ -46,7 +46,7 @@ class Batch:
     def __post_init__(self) -> None:
         if self.initial_size <= 0:
             raise ValueError(f"batch size must be > 0, got {self.initial_size}")
-        if self.size == 0.0:
+        if self.size <= 0.0:
             self.size = self.initial_size
 
     @property

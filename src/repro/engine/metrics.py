@@ -155,7 +155,7 @@ class SimulationReport:
         Overhead covers plan classification (RLD) and migration stalls
         (DYN); ROD has none.  NaN when no processing happened.
         """
-        if self.processing_seconds == 0:
+        if self.processing_seconds <= 0:
             return math.nan
         return (
             self.overhead_seconds + self.migration_stall_seconds

@@ -484,6 +484,7 @@ class StreamSimulator:
             if self._network_base is not None:
                 self._network = (
                     self._network_base
+                    # repro-lint: disable=no-float-eq -- factor 1.0 is the exact no-op sentinel the fault schedule emits on heal; it is assigned, never computed
                     if event.factor == 1.0
                     else self._network_base.scaled(event.factor)
                 )

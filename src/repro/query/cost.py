@@ -33,6 +33,7 @@ import numpy as np
 from repro.query.model import Query
 from repro.query.plans import LogicalPlan
 from repro.query.statistics import StatPoint, rate_param
+from repro.util.types import FloatArray
 
 __all__ = [
     "PlanCostModel",
@@ -162,8 +163,8 @@ class PlanCostModel:
     # the equivalence the hypothesis suite pins down.
 
     def _column(
-        self, param: str, default: float, names: Sequence[str], values: np.ndarray
-    ) -> np.ndarray | float:
+        self, param: str, default: float, names: Sequence[str], values: FloatArray
+    ) -> FloatArray | float:
         """The values of ``param`` across the batch.
 
         Returns the matching matrix column when the parameter is one of
@@ -177,8 +178,8 @@ class PlanCostModel:
         return values[:, position]
 
     def plan_costs(
-        self, plan: LogicalPlan, values: np.ndarray, names: Sequence[str]
-    ) -> np.ndarray:
+        self, plan: LogicalPlan, values: FloatArray, names: Sequence[str]
+    ) -> FloatArray:
         """Total per-second cost of ``plan`` at every point of a batch.
 
         ``values`` is a ``(n_points, len(names))`` matrix whose columns
@@ -201,8 +202,8 @@ class PlanCostModel:
         return rate * total
 
     def operator_loads_batch(
-        self, plan: LogicalPlan, values: np.ndarray, names: Sequence[str]
-    ) -> dict[int, np.ndarray]:
+        self, plan: LogicalPlan, values: FloatArray, names: Sequence[str]
+    ) -> dict[int, FloatArray]:
         """Per-operator loads of ``plan`` at every point of a batch.
 
         The batch counterpart of :meth:`operator_loads`: a mapping from
@@ -212,7 +213,7 @@ class PlanCostModel:
         names = list(names)
         rate = self._column(self._rate_name, self._query.driving_rate, names, values)
         carried = np.ones(values.shape[0])
-        loads: dict[int, np.ndarray] = {}
+        loads: dict[int, FloatArray] = {}
         for op_id in plan:
             op = self._ops[op_id]
             loads[op_id] = rate * op.cost_per_tuple * carried
@@ -222,8 +223,8 @@ class PlanCostModel:
         return loads
 
     def gradients_batch(
-        self, plan: LogicalPlan, values: np.ndarray, names: Sequence[str]
-    ) -> np.ndarray:
+        self, plan: LogicalPlan, values: FloatArray, names: Sequence[str]
+    ) -> FloatArray:
         """Partial derivatives of plan cost at every point of a batch.
 
         Returns an ``(n_points, len(names))`` matrix whose column ``j``
@@ -273,14 +274,14 @@ class PlanCostModel:
         return grads
 
     def slopes_batch(
-        self, plan: LogicalPlan, values: np.ndarray, names: Sequence[str]
-    ) -> np.ndarray:
+        self, plan: LogicalPlan, values: FloatArray, names: Sequence[str]
+    ) -> FloatArray:
         """Euclidean gradient norms at every point of a batch."""
         grads = self.gradients_batch(plan, values, names)
         return np.sqrt(np.sum(grads * grads, axis=1))
 
 
-def multilinear_features(values: Sequence[float]) -> np.ndarray:
+def multilinear_features(values: Sequence[float]) -> FloatArray:
     """Feature vector of all subset products of ``values``.
 
     For values ``(x, y)`` the features are ``[1, x, y, x·y]`` — the 2-D
@@ -310,7 +311,7 @@ class PlanCostSurface:
     """
 
     dimensions: tuple[str, ...]
-    coefficients: np.ndarray
+    coefficients: FloatArray
 
     def __post_init__(self) -> None:
         expected = 2 ** len(self.dimensions)

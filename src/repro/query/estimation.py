@@ -21,7 +21,7 @@ Two entry points:
 from __future__ import annotations
 
 import math
-from typing import Mapping, Sequence
+from typing import Mapping, Protocol, Sequence
 
 import numpy as np
 
@@ -33,6 +33,16 @@ __all__ = ["estimate_from_samples", "calibrate_workload", "uncertainty_level_for
 #: Algorithm 1 supports any integer level; 5 is the largest the paper
 #: evaluates (Figure 10), so it is our default ceiling.
 DEFAULT_MAX_LEVEL = 5
+
+
+class _SamplableWorkload(Protocol):
+    """The slice of a workload that calibration needs: ground truth at t.
+
+    Structural so the query layer does not import ``repro.workloads``
+    (the strictly-typed packages form a closed import set).
+    """
+
+    def stat_point(self, time: float) -> Mapping[str, float]: ...
 
 
 def uncertainty_level_for(
@@ -103,7 +113,7 @@ def estimate_from_samples(
 
 
 def calibrate_workload(
-    workload,
+    workload: _SamplableWorkload,
     *,
     duration: float,
     n_samples: int = 200,

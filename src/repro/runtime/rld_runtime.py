@@ -354,7 +354,7 @@ class RLDStrategy:
 
     def _classification_overhead(self, plan: LogicalPlan, stats: StatPoint) -> float:
         """Charge ≈ ``fraction`` of the batch's expected service seconds."""
-        if self._overhead_fraction == 0.0:
+        if self._overhead_fraction <= 0.0:
             return 0.0
         rate = float(stats.get(self._rate_name, 1.0))
         if rate <= 0:

@@ -4,6 +4,15 @@
 optimizer threads one through its pipeline so ``repro compile
 --profile`` can print a partitioning / robustness / physical-mapping
 breakdown without every stage re-inventing ``time.perf_counter`` pairs.
+:class:`Stopwatch` is the single-interval form for ``compile_seconds``
+style measurements.
+
+This module is the *only* place outside benchmarks allowed to read the
+host clock: the ``no-wallclock`` lint rule (see
+:mod:`repro.analysis.checks.wallclock`) allowlists exactly this file,
+so every timing need in the simulation/compile packages must route
+through here.  Keeping one home makes the determinism boundary
+auditable — wall-clock readings may feed *profiles*, never *results*.
 """
 
 from __future__ import annotations
@@ -12,7 +21,32 @@ import time
 from contextlib import contextmanager
 from typing import Iterator
 
-__all__ = ["StageTimer"]
+__all__ = ["StageTimer", "Stopwatch"]
+
+
+class Stopwatch:
+    """Measures one elapsed interval from construction (or :meth:`restart`).
+
+    The ``start = perf_counter() ... elapsed = perf_counter() - start``
+    idiom as an object, so compile passes record their
+    ``compile_seconds`` without touching :mod:`time` directly::
+
+        watch = Stopwatch()
+        ...                      # do the work
+        result.compile_seconds = watch.seconds
+    """
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    @property
+    def seconds(self) -> float:
+        """Seconds elapsed since construction or the last restart."""
+        return time.perf_counter() - self._start
+
+    def restart(self) -> None:
+        """Reset the interval origin to now."""
+        self._start = time.perf_counter()
 
 
 class StageTimer:

@@ -1,0 +1,33 @@
+"""Typed NumPy array aliases for the strictly-typed packages.
+
+``mypy --strict`` enables ``disallow_any_generics``, which rejects the
+bare generic ``np.ndarray`` in annotations.  These aliases are the
+repo-wide spellings: precise about *dtype* (where the determinism and
+parity contracts live — float64 cost tensors, intp index vectors) while
+leaving the shape parameter open, since NumPy's typing cannot yet
+express shapes usefully.
+
+Use :data:`FloatArray` for cost/load/value tensors, :data:`IntArray`
+for index/rank vectors, :data:`BoolArray` for masks, and
+:data:`AnyArray` only at boundaries that genuinely accept any dtype.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["AnyArray", "BoolArray", "FloatArray", "IntArray"]
+
+#: Float64 tensor — the dtype of every cost/load/grid value.
+FloatArray = np.ndarray[Any, np.dtype[np.float64]]
+
+#: Index/rank vector (np.intp, the dtype argmin and fancy indexing use).
+IntArray = np.ndarray[Any, np.dtype[np.intp]]
+
+#: Boolean mask.
+BoolArray = np.ndarray[Any, np.dtype[np.bool_]]
+
+#: Any-dtype escape hatch for genuinely polymorphic boundaries.
+AnyArray = np.ndarray[Any, np.dtype[Any]]

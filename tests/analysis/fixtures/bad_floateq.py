@@ -1,0 +1,14 @@
+"""Known-bad fixture: exact float comparison — must trigger only no-float-eq.
+
+Covers the two inference paths: ``float``-annotated parameters and a
+value produced by true division.
+"""
+
+
+def converged(error: float, threshold: float) -> bool:
+    return error == threshold
+
+
+def check(x: float) -> bool:
+    ratio = x / 3.0
+    return ratio != 0.5

@@ -1,0 +1,15 @@
+"""Known-bad fixture: mutable module-level state — must trigger only
+no-module-mutable-state.
+
+``__all__`` is a list but dunder names are exempt; the two private
+containers below are the findings.
+"""
+
+__all__ = ["lookup"]
+
+_REGISTRY: dict = {}
+_SEEN = []
+
+
+def lookup(name: str) -> str:
+    return _REGISTRY.get(name, name)

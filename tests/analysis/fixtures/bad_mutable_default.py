@@ -1,0 +1,12 @@
+"""Known-bad fixture: mutable default arguments — must trigger only
+no-mutable-default."""
+
+
+def collect(item: int, into: list = []) -> list:
+    into.append(item)
+    return into
+
+
+def register(name: str, registry: dict = {}) -> dict:
+    registry[name] = name
+    return registry

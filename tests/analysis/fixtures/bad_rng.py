@@ -1,0 +1,11 @@
+"""Known-bad fixture: unseeded RNG use — must trigger only no-unseeded-rng."""
+
+import random
+
+import numpy as np
+
+
+def sample_noise(n: int) -> list[float]:
+    values = [random.random() for _ in range(n)]
+    jitter = np.random.normal(0.0, 1.0, size=n)
+    return values + list(jitter)

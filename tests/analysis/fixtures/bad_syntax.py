@@ -1,0 +1,6 @@
+"""Known-bad fixture: does not parse — the runner must degrade to a
+single syntax-error diagnostic instead of crashing."""
+
+
+def broken(:
+    return None

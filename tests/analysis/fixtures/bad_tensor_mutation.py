@@ -1,0 +1,16 @@
+"""Known-bad fixture: in-place writes to cached tensors — must trigger
+only no-cached-tensor-mutation.
+
+One finding per mutation style: item store, augmented assignment,
+in-place method on a row view, and re-enabling the write flag.
+"""
+
+
+def corrupt(cache, space):
+    matrix = space.grid_matrix()
+    matrix[0, 0] = 1.0
+    tensor = cache.cost_tensor
+    tensor += 1.0
+    row = tensor[0]
+    row.fill(0.0)
+    tensor.setflags(write=True)

@@ -1,0 +1,15 @@
+"""Known-bad fixture: wall-clock reads — must trigger only no-wallclock.
+
+Exercises the plain module call, the ``from``-import-with-alias form
+(resolved through the import map), and a ``datetime`` classmethod.
+"""
+
+import time
+from datetime import datetime
+from time import perf_counter as clock
+
+
+def stamp() -> float:
+    started = clock()
+    now = datetime.now()
+    return time.time() + started + now.timestamp()

@@ -1,0 +1,13 @@
+"""Known-good fixture: module-level registries as read-only views and
+tuples — the sanctioned replacement for mutable module state."""
+
+from types import MappingProxyType
+
+__all__ = ["lookup"]
+
+_REGISTRY = MappingProxyType({"identity": "identity"})
+_NAMES = ("identity",)
+
+
+def lookup(name: str) -> str:
+    return _REGISTRY.get(name, name)

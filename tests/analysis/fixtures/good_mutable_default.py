@@ -1,0 +1,12 @@
+"""Known-good fixture: immutable defaults and the None-sentinel idiom,
+neither of which the no-mutable-default rule may flag."""
+
+
+def collect(item: int, into: tuple = ()) -> tuple:
+    return into + (item,)
+
+
+def register(name: str, registry: dict | None = None) -> dict:
+    mapping = dict(registry or {})
+    mapping[name] = name
+    return mapping

@@ -1,0 +1,12 @@
+"""Known-good fixture: randomness only through an injected, seeded generator.
+
+The ``np.random.Generator`` *annotation* is a non-call reference and must
+stay legal; only calls into the global ``random``/``np.random`` state are
+invariant violations.
+"""
+
+import numpy as np
+
+
+def sample_noise(rng: np.random.Generator, n: int) -> list[float]:
+    return list(rng.normal(0.0, 1.0, size=n))

@@ -1,0 +1,13 @@
+"""Known-good fixture: mutating a private copy of a cached tensor is the
+sanctioned pattern — ``.copy()`` breaks the taint."""
+
+
+def scaled_copy(cache):
+    tensor = cache.cost_tensor.copy()
+    tensor *= 2.0
+    tensor[0] = 0.0
+    return tensor
+
+
+def reduce_only(cache) -> float:
+    return cache.cost_tensor.min()

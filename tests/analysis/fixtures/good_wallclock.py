@@ -1,0 +1,6 @@
+"""Known-good fixture: time flows only through explicit simulation-clock
+parameters, never from the host's wall clock."""
+
+
+def advance(sim_time: float, dt: float) -> float:
+    return sim_time + dt

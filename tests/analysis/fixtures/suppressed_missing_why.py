@@ -1,0 +1,8 @@
+"""Known-bad fixture: a suppression without the mandatory justification
+suppresses nothing — both the original finding and bad-suppression fire."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # repro-lint: disable=no-wallclock

@@ -1,0 +1,9 @@
+"""Known-good fixture: a justified suppression absorbs its finding and
+counts as used — the file lints clean."""
+
+import time
+
+
+def stamp() -> float:
+    # repro-lint: disable=no-wallclock -- fixture exercising a justified escape hatch
+    return time.time()

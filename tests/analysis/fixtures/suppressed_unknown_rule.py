@@ -1,0 +1,6 @@
+"""Known-bad fixture: a suppression naming a rule that does not exist —
+bad-suppression fires."""
+
+
+def identity(x: int) -> int:
+    return x  # repro-lint: disable=not-a-rule -- this rule name does not exist

@@ -1,0 +1,7 @@
+"""Known-bad fixture: a valid suppression that matches no finding is a
+dead escape hatch — unused-suppression fires."""
+
+
+def total(values: list) -> int:
+    # repro-lint: disable=no-float-eq -- nothing here actually compares floats
+    return sum(values)

@@ -14,7 +14,8 @@ class TestDocsExist:
     @pytest.mark.parametrize(
         "name",
         ["README.md", "DESIGN.md", "EXPERIMENTS.md",
-         "docs/architecture.md", "docs/algorithms.md"],
+         "docs/architecture.md", "docs/algorithms.md",
+         "docs/static-analysis.md"],
     )
     def test_document_present_and_substantial(self, name):
         path = ROOT / name
