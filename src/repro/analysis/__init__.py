@@ -18,23 +18,34 @@ Layout:
   parsing, and the :class:`LintRunner` that drives rules over a tree.
 * :mod:`repro.analysis.checks` — one module per rule (the rule
   catalog lives in ``docs/static-analysis.md``).
+* :mod:`repro.analysis.graph` — the whole-program substrate: import
+  graph, symbol index, and the approximate call graph.
+* :mod:`repro.analysis.program` / :mod:`repro.analysis.audit` — the
+  :class:`AuditPass` framework and the interprocedural passes behind
+  ``repro audit`` (tensor escape, cross-node aliasing, fault-path
+  exception safety, RNG discipline).
+* :mod:`repro.analysis.auditor` — the :class:`AuditRunner` driving
+  passes over one parsed program.
 
-The CLI front-end is ``repro lint`` (see :mod:`repro.cli`); CI and
-``make lint`` gate on its exit code.
+The CLI front-ends are ``repro lint`` and ``repro audit`` (see
+:mod:`repro.cli`); CI and ``make lint`` gate on both exit codes.
 """
 
 from __future__ import annotations
 
+from repro.analysis.auditor import AuditRunner, audit_paths
 from repro.analysis.engine import LintRunner, lint_paths
 from repro.analysis.report import Diagnostic, LintReport, render_json, render_text
 from repro.analysis.rules import FileContext, Rule, default_rules
 
 __all__ = [
+    "AuditRunner",
     "Diagnostic",
     "FileContext",
     "LintReport",
     "LintRunner",
     "Rule",
+    "audit_paths",
     "default_rules",
     "lint_paths",
     "render_json",

@@ -15,7 +15,7 @@ from repro.analysis.checks.tensor_mutation import NoCachedTensorMutationRule
 from repro.analysis.checks.wallclock import NoWallclockRule
 from repro.analysis.rules import Rule
 
-__all__ = ["all_rules"]
+__all__ = ["all_rules", "known_rule_names"]
 
 
 def all_rules() -> tuple[Rule, ...]:
@@ -27,4 +27,23 @@ def all_rules() -> tuple[Rule, ...]:
         NoCachedTensorMutationRule(),
         NoMutableDefaultRule(),
         NoModuleMutableStateRule(),
+    )
+
+
+def known_rule_names() -> frozenset[str]:
+    """Every valid ``disable=`` target: lint rules, audit passes, and
+    the suppression-audit pseudo-rules.
+
+    ``repro lint`` and ``repro audit`` share one suppression syntax, so
+    each command must recognise the other's names (a lint run finding a
+    ``disable=tensor-escape`` comment reports nothing; only a genuinely
+    unknown name is a ``bad-suppression``).
+    """
+    from repro.analysis.audit import all_passes
+    from repro.analysis.rules import BAD_SUPPRESSION, UNUSED_SUPPRESSION
+
+    return frozenset(
+        {rule.name for rule in all_rules()}
+        | {audit_pass.name for audit_pass in all_passes()}
+        | {BAD_SUPPRESSION, UNUSED_SUPPRESSION}
     )

@@ -1,0 +1,64 @@
+"""``--diff <rev>`` support: restrict findings to changed files.
+
+For pre-commit use, ``repro lint --diff HEAD~1`` (and the same flag on
+``audit``) filters the report down to files changed since ``<rev>`` —
+tracked changes from ``git diff`` plus untracked files.  The analysis
+itself still runs over everything requested: the audit's
+interprocedural passes need the whole program to resolve calls, and a
+one-line change in a producer can surface a finding in an untouched
+consumer — so filtering happens on the *report*, never on the input
+set.  ``files_checked`` keeps the full count for the same reason.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+from repro.analysis.report import LintReport
+
+__all__ = ["changed_files", "filter_report"]
+
+
+def _git_lines(args: list[str], root: Path) -> list[str]:
+    """Run one git command under ``root``; raise ValueError on failure."""
+    try:
+        completed = subprocess.run(
+            ["git", "-C", str(root), *args],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+    except OSError as exc:  # git not installed
+        raise ValueError(f"cannot run git: {exc}") from exc
+    if completed.returncode != 0:
+        detail = completed.stderr.strip() or f"exit code {completed.returncode}"
+        raise ValueError(f"git {' '.join(args[:2])} failed: {detail}")
+    return [line.strip() for line in completed.stdout.splitlines() if line.strip()]
+
+
+def changed_files(root: Path, rev: str) -> frozenset[str]:
+    """``/``-separated paths (relative to ``root``) changed since ``rev``.
+
+    The union of tracked changes (``git diff --name-only <rev>``,
+    ``--relative`` so paths are anchored at ``root`` even in a deeper
+    checkout) and untracked files — a brand-new module is exactly what
+    a pre-commit check must not skip.  Raises :class:`ValueError` for
+    an unknown revision or a non-repository ``root``.
+    """
+    tracked = _git_lines(
+        ["diff", "--name-only", "--relative", rev, "--", "*.py"], root
+    )
+    untracked = _git_lines(
+        ["ls-files", "--others", "--exclude-standard", "--", "*.py"], root
+    )
+    return frozenset(tracked) | frozenset(untracked)
+
+
+def filter_report(report: LintReport, changed: frozenset[str]) -> LintReport:
+    """A copy of ``report`` keeping only diagnostics in ``changed``."""
+    filtered = LintReport(files_checked=report.files_checked)
+    filtered.diagnostics = [
+        diag for diag in report.diagnostics if diag.path in changed
+    ]
+    return filtered

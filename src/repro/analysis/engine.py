@@ -196,12 +196,16 @@ class LintRunner:
         self, context: FileContext, active: Sequence[Rule]
     ) -> None:
         active_names = {rule.name for rule in active}
-        # Unknown-rule detection must consult the full catalog, not just
-        # this run's (possibly --disable-filtered) rule set, so that
-        # disabling a rule does not reclassify its suppressions.
+        # Unknown-rule detection must consult the full catalog — every
+        # lint rule AND every audit pass (the two commands share one
+        # suppression syntax), not just this run's (possibly
+        # --disable-filtered) rule set, so that disabling a rule does
+        # not reclassify its suppressions.
+        from repro.analysis.checks import known_rule_names
+
         known_names = (
             {rule.name for rule in self.rules}
-            | {rule.name for rule in default_rules()}
+            | known_rule_names()
             | {BAD_SUPPRESSION, UNUSED_SUPPRESSION}
         )
         for suppressions in context.suppressions.values():

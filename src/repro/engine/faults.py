@@ -44,6 +44,7 @@ from repro.util.validation import ensure_positive
 
 __all__ = [
     "FAULT_KINDS",
+    "FaultError",
     "FaultEvent",
     "FaultSchedule",
     "monitor_dropout",
@@ -52,6 +53,22 @@ __all__ = [
     "node_crash",
     "node_slowdown",
 ]
+
+
+class FaultError(Exception):
+    """The one exception an ``on_fault`` hook may raise.
+
+    A strategy's fault hook runs in the middle of the simulator's fault
+    accounting; an arbitrary exception escaping it unwinds the event
+    loop and turns a survived fault into a dead run.  Hooks that cannot
+    degrade gracefully wrap the cause in ``FaultError`` — the simulator
+    catches exactly this type, counts it in
+    ``SimulationReport.fault_hook_errors``, and keeps the run alive.
+    Deliberately a direct ``Exception`` subclass (not ``RuntimeError``)
+    so a strategy's own ``except RuntimeError`` cleanup can never
+    swallow the sanctioned signal by accident.  The static side of the
+    same contract is the ``fault-hook-raises`` audit pass.
+    """
 
 #: Every fault kind the simulator understands.
 FAULT_KINDS = frozenset(

@@ -59,6 +59,10 @@ class SimulationReport:
     partition_seconds: float = 0.0
     #: Monitor sampling rounds lost to dropout faults.
     monitor_samples_dropped: int = 0
+    #: ``on_fault`` hooks that raised :class:`~repro.engine.faults.
+    #: FaultError` — the strategy failed to degrade, but the run (and
+    #: this ledger) survived.
+    fault_hook_errors: int = 0
     #: (completion time, input-tuple weight, latency seconds) per batch.
     _completions: list[tuple[float, float, float]] = field(default_factory=list)
 
@@ -197,7 +201,7 @@ class SimulationReport:
             == self.batches_completed + self.batches_dropped + self.batches_in_flight
         )
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         """Summary as JSON-compatible primitives (dashboards, exports).
 
         Contains the headline aggregates, not the per-batch ledgers;
@@ -232,6 +236,7 @@ class SimulationReport:
             "node_downtime_seconds": self.node_downtime_seconds,
             "partition_seconds": self.partition_seconds,
             "monitor_samples_dropped": self.monitor_samples_dropped,
+            "fault_hook_errors": self.fault_hook_errors,
             "drop_fraction": self.drop_fraction,
             "availability": None if math.isnan(availability) else availability,
         }

@@ -34,7 +34,7 @@ import numpy as np
 from repro.core.physical import Cluster, PhysicalPlan
 from repro.engine.batches import Batch
 from repro.engine.events import EventLoop
-from repro.engine.faults import FaultEvent, FaultSchedule
+from repro.engine.faults import FaultError, FaultEvent, FaultSchedule
 from repro.engine.metrics import SimulationReport
 from repro.engine.monitor import GroundTruth, StatisticsMonitor
 from repro.engine.network import NetworkModel
@@ -511,7 +511,22 @@ class StreamSimulator:
             )
         on_fault = getattr(self._strategy, "on_fault", None)
         if on_fault is not None:
-            on_fault(self, event)
+            try:
+                on_fault(self, event)
+            except FaultError as exc:
+                # The sanctioned hook failure: the strategy could not
+                # degrade gracefully, but the run (and its accounting)
+                # must survive the fault it was injected to measure.
+                report.fault_hook_errors += 1
+                if self._trace is not None:
+                    self._trace.record(
+                        TraceEvent(
+                            time=now,
+                            kind="fault_hook_error",
+                            node=event.node,
+                            detail=str(exc),
+                        )
+                    )
 
     # ------------------------------------------------------------------
     # Entry point

@@ -13,10 +13,11 @@ from __future__ import annotations
 
 from repro.core.greedy_phy import largest_load_first
 from repro.core.physical import Cluster, InfeasiblePlacementError, PhysicalPlan
-from repro.engine.faults import FaultEvent
+from repro.engine.faults import FaultError, FaultEvent
 from repro.engine.system import RoutingDecision, StreamSimulator
 from repro.query.cost import PlanCostModel
 from repro.query.model import Query
+from repro.query.plans import LogicalPlan
 from repro.query.statistics import StatPoint
 from repro.util.validation import ensure_positive
 
@@ -80,7 +81,7 @@ class DYNStrategy:
         return self._placement
 
     @property
-    def logical_plan(self):
+    def logical_plan(self) -> LogicalPlan:
         """The single logical plan DYN executes (it never re-orders)."""
         return self._plan
 
@@ -144,17 +145,32 @@ class DYNStrategy:
         for each — adaptation works, but the stalls are the bill (the
         same Achilles heel §6.5 charges DYN for under load drift).
         Ignores the cooldown: a crash is not an imbalance signal.
+
+        Only :class:`FaultError` may escape this hook — anything the
+        evacuation trips over (a concurrent fault invalidating the
+        placement, a migration rejected mid-flight) is converted so the
+        engine's fault accounting survives the failure it was injected
+        to measure.
         """
         if event.kind != "crash" or event.node is None:
             return
-        placement = simulator.current_placement
-        dead_ops = sorted(op for op, node in placement.items() if node == event.node)
-        if not dead_ops:
-            return
-        survivors = [node for node in simulator.nodes if node.online]
-        if not survivors:
-            return  # total outage: nothing to evacuate to
-        for op in dead_ops:
-            target = min(survivors, key=lambda n: (n.busy_seconds, n.node_id))
-            simulator.migrate(op, target.node_id)
-        self._last_migration = simulator.now
+        try:
+            placement = simulator.current_placement
+            dead_ops = sorted(
+                op for op, node in placement.items() if node == event.node
+            )
+            if not dead_ops:
+                return
+            survivors = [node for node in simulator.nodes if node.online]
+            if not survivors:
+                return  # total outage: nothing to evacuate to
+            for op in dead_ops:
+                target = min(survivors, key=lambda n: (n.busy_seconds, n.node_id))
+                simulator.migrate(op, target.node_id)
+            self._last_migration = simulator.now
+        except FaultError:
+            raise
+        except Exception as exc:
+            raise FaultError(
+                f"DYN evacuation of node {event.node} failed: {exc}"
+            ) from exc

@@ -13,6 +13,8 @@ continuous chasing.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.core.rld import RLDSolution
 from repro.engine.system import StreamSimulator
 from repro.query.statistics import StatPoint
@@ -48,7 +50,7 @@ class RLDHybridStrategy(RLDStrategy):
         space_tolerance: float = 1.1,
         saturation_threshold: float = 1.0,
         cooldown_seconds: float = 30.0,
-        **rld_kwargs,
+        **rld_kwargs: Any,
     ) -> None:
         super().__init__(solution, **rld_kwargs)
         if space_tolerance < 1.0:

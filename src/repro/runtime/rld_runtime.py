@@ -22,6 +22,7 @@ from repro.engine.system import RoutingDecision, StreamSimulator
 from repro.query.cost import PlanCostModel
 from repro.query.plans import LogicalPlan
 from repro.query.statistics import StatPoint, rate_param
+from repro.util.types import IntArray
 from repro.util.validation import ensure_in_range
 
 __all__ = ["RLDStrategy"]
@@ -94,7 +95,7 @@ class RLDStrategy:
         # after faults change node liveness, bypassed (live path) when
         # the statistics fall off-grid.
         self._space = solution.space
-        self._table: np.ndarray | None = None
+        self._table: IntArray | None = None
         self._table_down: frozenset[int] = frozenset()
         self._table_hits = 0
         self._table_misses = 0
@@ -187,7 +188,7 @@ class RLDStrategy:
         """Times the table was (re)built, including the first build."""
         return self._table_rebuilds
 
-    def _build_table(self) -> np.ndarray:
+    def _build_table(self) -> IntArray:
         """One routing decision per grid cell for the current down-set.
 
         Vectorized mirror of :meth:`_route_live`'s three branches over

@@ -14,7 +14,9 @@ from __future__ import annotations
 
 from repro.core.greedy_phy import largest_load_first
 from repro.core.physical import Cluster, InfeasiblePlacementError, PhysicalPlan
+from repro.engine.faults import FaultEvent
 from repro.engine.system import RoutingDecision, StreamSimulator
+from repro.query.plans import LogicalPlan
 from repro.query.cost import PlanCostModel
 from repro.query.model import Query
 from repro.query.statistics import StatPoint
@@ -57,7 +59,7 @@ class RODStrategy:
         return self._placement
 
     @property
-    def logical_plan(self):
+    def logical_plan(self) -> LogicalPlan:
         """The single logical plan ROD executes forever."""
         return self._plan
 
@@ -68,7 +70,7 @@ class RODStrategy:
     def on_tick(self, simulator: StreamSimulator, time: float) -> None:
         """ROD never adapts at runtime."""
 
-    def on_fault(self, simulator: StreamSimulator, event) -> None:
+    def on_fault(self, simulator: StreamSimulator, event: FaultEvent) -> None:
         """ROD has no failure response: batches bound for a crashed
         node stall until it recovers and latency simply degrades — the
         cost of a placement chosen once and frozen."""

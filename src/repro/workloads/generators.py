@@ -28,7 +28,7 @@ from repro.query.statistics import (
     StatPoint,
     rate_param,
 )
-from repro.util.rng import derive_rng
+from repro.util.rng import SeedSequenceFactory, derive_rng
 from repro.util.validation import ensure_positive
 
 __all__ = [
@@ -198,6 +198,11 @@ class RandomWalkSelectivity(SelectivityProfile):
     Selectivities drift by small seeded steps, reflecting at the
     Algorithm 1 bounds.  The walk is evaluated lazily on a fixed time
     grid so ``value`` is deterministic and O(1) amortized per call.
+
+    Each operator draws from its own child generator (spawned once, in
+    sorted operator order, at construction), so an operator's walk
+    depends only on the seed — never on the order or frequency with
+    which other operators are queried.
     """
 
     def __init__(
@@ -213,16 +218,23 @@ class RandomWalkSelectivity(SelectivityProfile):
         self._levels = dict(levels)
         self._step = step_fraction
         self._grid = grid_seconds
-        self._rng = derive_rng(seed)
-        # Per-operator walk state in [-1, 1] (fraction of the allowed band).
-        self._positions: dict[int, float] = {op: 0.0 for op in self._levels}
+        if isinstance(seed, np.random.Generator):
+            # Derive per-operator seeds from the caller's stream once,
+            # up front, instead of sharing the generator across walks.
+            self._rngs = {
+                op: derive_rng(int(seed.integers(2**63)))
+                for op in sorted(self._levels)
+            }
+        else:
+            factory = SeedSequenceFactory(seed)
+            self._rngs = {op: factory.child() for op in sorted(self._levels)}
         self._history: dict[int, list[float]] = {op: [0.0] for op in self._levels}
 
     def _position_at(self, op_id: int, time: float) -> float:
         history = self._history[op_id]
         needed = int(time // self._grid) + 1
         while len(history) <= needed:
-            position = history[-1] + float(self._rng.normal(0.0, self._step))
+            position = history[-1] + float(self._rngs[op_id].normal(0.0, self._step))
             # Reflect into [-1, 1].
             while position > 1.0 or position < -1.0:
                 if position > 1.0:

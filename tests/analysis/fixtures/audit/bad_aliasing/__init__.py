@@ -1,0 +1,1 @@
+"""Fixture: the ``shared-node-state`` pass's two finding shapes."""

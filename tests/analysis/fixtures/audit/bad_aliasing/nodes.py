@@ -1,0 +1,7 @@
+"""A node class that retains its constructor arguments by reference."""
+
+
+class WorkerNode:
+    def __init__(self, node_id, table):
+        self.node_id = node_id
+        self.table = table

@@ -1,0 +1,18 @@
+"""Wiring that threads one mutable object into several nodes."""
+
+from bad_aliasing.nodes import WorkerNode
+
+
+def build_pair():
+    shared = {"load": 0.0}
+    # BAD: both instances retain the same dict — a hidden shared-memory
+    # channel between 'distributed' nodes.
+    left = WorkerNode(0, shared)
+    right = WorkerNode(1, shared)
+    return left, right
+
+
+def build_ring(count):
+    stats = {"seen": 0}
+    # BAD: every instance the comprehension builds shares one dict.
+    return [WorkerNode(i, stats) for i in range(count)]

@@ -1,0 +1,1 @@
+"""Fixture: the ``tensor-escape`` pass's two finding shapes."""

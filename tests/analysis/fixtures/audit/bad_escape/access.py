@@ -1,0 +1,7 @@
+"""A helper whose return value aliases the cache surface."""
+
+from bad_escape.cache import LeakyCache
+
+
+def tensor_of(cache: LeakyCache):
+    return cache.cost_tensor()

@@ -1,0 +1,12 @@
+"""Producer half: a cache surface that never freezes its array."""
+
+import numpy as np
+
+
+class LeakyCache:
+    def __init__(self) -> None:
+        self._tensor = np.zeros((2, 2))
+
+    def cost_tensor(self):
+        # BAD: handed out by reference, never setflags(write=False).
+        return self._tensor

@@ -1,0 +1,10 @@
+"""Consumer half: mutating an array aliased through a helper call."""
+
+from bad_escape.access import tensor_of
+from bad_escape.cache import LeakyCache
+
+
+def clobber(cache: LeakyCache) -> None:
+    grid = tensor_of(cache)
+    # BAD: writes through the alias into the cache-backed array.
+    grid[0, 0] = 1.0

@@ -1,0 +1,1 @@
+"""Fixture: the ``fault-hook-raises`` pass — an escaping exception."""

@@ -1,0 +1,5 @@
+"""The fixture program's own exception types."""
+
+
+class EvacuationError(RuntimeError):
+    pass

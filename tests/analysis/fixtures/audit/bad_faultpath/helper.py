@@ -1,0 +1,8 @@
+"""A helper two calls below the hook that raises."""
+
+from bad_faultpath.errors import EvacuationError
+
+
+def relocate(op_id):
+    if op_id < 0:
+        raise EvacuationError("no surviving home for operator")

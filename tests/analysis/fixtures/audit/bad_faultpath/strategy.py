@@ -1,0 +1,10 @@
+"""An on_fault hook that lets a helper's exception escape."""
+
+from bad_faultpath.helper import relocate
+
+
+class PanickyStrategy:
+    # BAD: relocate() can raise EvacuationError straight through the
+    # engine's fault accounting; only FaultError is sanctioned.
+    def on_fault(self, simulator, event):
+        relocate(event.node)

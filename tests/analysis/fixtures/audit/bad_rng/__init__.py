@@ -1,0 +1,1 @@
+"""Fixture: the ``shared-rng`` pass's two finding shapes."""

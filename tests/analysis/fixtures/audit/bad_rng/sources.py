@@ -1,0 +1,7 @@
+"""A component that stores the caller's generator by reference."""
+
+
+class NoiseSource:
+    def __init__(self, rng):
+        # BAD: keeps a live alias of whatever stream the caller owns.
+        self.rng = rng

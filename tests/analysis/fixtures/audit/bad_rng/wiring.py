@@ -1,0 +1,11 @@
+"""Wiring that feeds one generator to two retaining components."""
+
+from bad_rng.sources import NoiseSource
+
+
+def build(rng):
+    # BAD: both sources draw from the same stream — their sequences
+    # interleave depending on call order.
+    first = NoiseSource(rng)
+    second = NoiseSource(rng)
+    return first, second

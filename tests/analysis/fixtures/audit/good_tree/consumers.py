@@ -1,0 +1,21 @@
+"""Consumers that copy before writing, nodes that copy on retain."""
+
+from good_tree import FrozenCache
+
+
+def snapshot(cache: FrozenCache):
+    grid = cache.cost_tensor().copy()
+    grid[0, 0] = 1.0  # fine: it is a private copy
+    return grid
+
+
+class ReportNode:
+    def __init__(self, node_id, table):
+        self.node_id = node_id
+        self.table = dict(table)  # copy breaks retention
+
+
+def build_nodes(count):
+    shared = {"load": 0.0}
+    # Fine: every instance copies, nothing is shared.
+    return [ReportNode(i, shared) for i in range(count)]

@@ -1,0 +1,5 @@
+"""The fixture program's sanctioned hook exception."""
+
+
+class FaultError(Exception):
+    pass

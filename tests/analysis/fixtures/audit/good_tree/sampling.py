@@ -1,0 +1,12 @@
+"""Per-instance child seeds instead of a shared generator."""
+
+
+class NoiseChannel:
+    def __init__(self, seed):
+        self.seed = seed
+
+
+def build_channels(rng, count):
+    # Fine: each channel gets its own integer seed drawn once; no
+    # instance retains the caller's generator.
+    return [NoiseChannel(int(rng.integers(2**31))) for _ in range(count)]

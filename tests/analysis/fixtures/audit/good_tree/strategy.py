@@ -1,0 +1,17 @@
+"""An on_fault hook that converts everything to FaultError."""
+
+from good_tree.errors import FaultError
+
+
+class CarefulStrategy:
+    def on_fault(self, simulator, event):
+        try:
+            self._evacuate(event)
+        except FaultError:
+            raise
+        except Exception as exc:
+            raise FaultError(str(exc)) from exc
+
+    def _evacuate(self, event):
+        if event is None:
+            raise ValueError("no event to react to")

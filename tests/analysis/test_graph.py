@@ -1,0 +1,271 @@
+"""Unit tests for the whole-program graph substrate."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.graph import (
+    NAME_FALLBACK_LIMIT,
+    ClassInfo,
+    FunctionInfo,
+    ProgramGraph,
+    build_graph,
+    module_name_for,
+)
+
+
+def make_graph(tmp_path: Path, files: dict[str, str]) -> ProgramGraph:
+    rows = []
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+        rows.append((path, relpath, ast.parse(source), source))
+    return build_graph(rows, tmp_path)
+
+
+class TestModuleNames:
+    def test_src_prefix_dropped(self, tmp_path: Path) -> None:
+        path = tmp_path / "src" / "repro" / "engine" / "node.py"
+        assert module_name_for(path, tmp_path) == "repro.engine.node"
+
+    def test_package_init_is_the_package(self, tmp_path: Path) -> None:
+        path = tmp_path / "pkg" / "sub" / "__init__.py"
+        assert module_name_for(path, tmp_path) == "pkg.sub"
+
+
+class TestBindings:
+    def test_absolute_and_aliased_imports(self, tmp_path: Path) -> None:
+        graph = make_graph(
+            tmp_path,
+            {
+                "mod.py": (
+                    "import numpy as np\n"
+                    "from pkg.other import Thing as Alias\n"
+                ),
+            },
+        )
+        bindings = graph.modules["mod"].bindings
+        assert bindings["np"] == "numpy"
+        assert bindings["Alias"] == "pkg.other.Thing"
+
+    def test_relative_import_from_sibling(self, tmp_path: Path) -> None:
+        graph = make_graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": "from .b import helper\n",
+                "pkg/b.py": "def helper():\n    pass\n",
+            },
+        )
+        assert graph.modules["pkg.a"].bindings["helper"] == "pkg.b.helper"
+
+    def test_relative_import_inside_package_init(self, tmp_path: Path) -> None:
+        # ``from .cache import X`` in pkg/__init__.py anchors at pkg
+        # itself, not at pkg's parent.
+        graph = make_graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "from .cache import Cache\n",
+                "pkg/cache.py": "class Cache:\n    pass\n",
+            },
+        )
+        assert graph.modules["pkg"].bindings["Cache"] == "pkg.cache.Cache"
+
+    def test_resolve_through_package_reexport(self, tmp_path: Path) -> None:
+        graph = make_graph(
+            tmp_path,
+            {
+                "pkg/__init__.py": "from .cache import Cache\n",
+                "pkg/cache.py": "class Cache:\n    pass\n",
+                "user.py": "from pkg import Cache\n",
+            },
+        )
+        canonical = graph.modules["user"].bindings["Cache"]
+        assert canonical == "pkg.Cache"
+        assert graph.resolve(canonical) == "pkg.cache.Cache"
+        assert graph.resolve(canonical) in graph.classes
+
+
+class TestSymbolIndex:
+    def test_attr_type_inference_from_ctor(self, tmp_path: Path) -> None:
+        graph = make_graph(
+            tmp_path,
+            {
+                "mod.py": (
+                    "class Loop:\n"
+                    "    def run(self):\n"
+                    "        pass\n"
+                    "\n"
+                    "class Engine:\n"
+                    "    def __init__(self):\n"
+                    "        self._loop = Loop()\n"
+                ),
+            },
+        )
+        engine = graph.classes["mod.Engine"]
+        assert engine.attr_types["_loop"] == "mod.Loop"
+
+    def test_dataclass_init_params(self, tmp_path: Path) -> None:
+        graph = make_graph(
+            tmp_path,
+            {
+                "mod.py": (
+                    "from dataclasses import dataclass\n"
+                    "\n"
+                    "@dataclass\n"
+                    "class Row:\n"
+                    "    key: int\n"
+                    "    value: float = 0.0\n"
+                ),
+            },
+        )
+        row = graph.classes["mod.Row"]
+        assert row.is_dataclass
+        assert row.init_params() == ["key", "value"]
+
+    def test_method_on_walks_program_bases(self, tmp_path: Path) -> None:
+        graph = make_graph(
+            tmp_path,
+            {
+                "base.py": "class Base:\n    def shared(self):\n        pass\n",
+                "child.py": (
+                    "from base import Base\n"
+                    "\n"
+                    "class Child(Base):\n"
+                    "    pass\n"
+                ),
+            },
+        )
+        child = graph.classes["child.Child"]
+        method = graph.method_on(child, "shared")
+        assert method is not None
+        assert method.qualname == "base.Base.shared"
+        assert graph.inherits_from(child, "Base")
+
+
+class TestCallResolution:
+    def _calls_of(self, graph: ProgramGraph, qualname: str):
+        return list(graph.resolved_calls(graph.functions[qualname]))
+
+    def test_imported_function_call(self, tmp_path: Path) -> None:
+        graph = make_graph(
+            tmp_path,
+            {
+                "lib.py": "def helper():\n    pass\n",
+                "app.py": (
+                    "from lib import helper\n"
+                    "\n"
+                    "def run():\n"
+                    "    helper()\n"
+                ),
+            },
+        )
+        (site,) = self._calls_of(graph, "app.run")
+        (target,) = site.targets
+        assert isinstance(target, FunctionInfo)
+        assert target.qualname == "lib.helper"
+        assert not site.via_fallback
+
+    def test_method_call_via_annotation(self, tmp_path: Path) -> None:
+        graph = make_graph(
+            tmp_path,
+            {
+                "svc.py": "class Service:\n    def ping(self):\n        pass\n",
+                "app.py": (
+                    "from svc import Service\n"
+                    "\n"
+                    "def run(s: Service):\n"
+                    "    s.ping()\n"
+                ),
+            },
+        )
+        (site,) = self._calls_of(graph, "app.run")
+        (target,) = site.targets
+        assert target.qualname == "svc.Service.ping"
+
+    def test_self_attr_call_via_inferred_type(self, tmp_path: Path) -> None:
+        graph = make_graph(
+            tmp_path,
+            {
+                "mod.py": (
+                    "class Loop:\n"
+                    "    def run(self):\n"
+                    "        pass\n"
+                    "\n"
+                    "class Engine:\n"
+                    "    def __init__(self):\n"
+                    "        self._loop = Loop()\n"
+                    "    def start(self):\n"
+                    "        self._loop.run()\n"
+                ),
+            },
+        )
+        sites = self._calls_of(graph, "mod.Engine.start")
+        (site,) = sites
+        (target,) = site.targets
+        assert target.qualname == "mod.Loop.run"
+
+    def test_constructor_call_targets_class(self, tmp_path: Path) -> None:
+        graph = make_graph(
+            tmp_path,
+            {
+                "mod.py": (
+                    "class Widget:\n"
+                    "    def __init__(self):\n"
+                    "        pass\n"
+                    "\n"
+                    "def build():\n"
+                    "    return Widget()\n"
+                ),
+            },
+        )
+        (site,) = self._calls_of(graph, "mod.build")
+        (target,) = site.targets
+        assert isinstance(target, ClassInfo)
+        assert target.qualname == "mod.Widget"
+
+    def test_name_fallback_for_untyped_receiver(self, tmp_path: Path) -> None:
+        graph = make_graph(
+            tmp_path,
+            {
+                "mod.py": (
+                    "class Only:\n"
+                    "    def frobnicate(self):\n"
+                    "        pass\n"
+                    "\n"
+                    "def run(thing):\n"
+                    "    thing.frobnicate()\n"
+                ),
+            },
+        )
+        (site,) = self._calls_of(graph, "mod.run")
+        assert site.via_fallback
+        (target,) = site.targets
+        assert target.qualname == "mod.Only.frobnicate"
+
+    def test_name_fallback_capped(self, tmp_path: Path) -> None:
+        classes = "\n".join(
+            f"class C{i}:\n    def common(self):\n        pass\n"
+            for i in range(NAME_FALLBACK_LIMIT + 1)
+        )
+        graph = make_graph(
+            tmp_path,
+            {"mod.py": classes + "\ndef run(x):\n    x.common()\n"},
+        )
+        assert self._calls_of(graph, "mod.run") == []
+
+    def test_external_calls_make_no_edges(self, tmp_path: Path) -> None:
+        graph = make_graph(
+            tmp_path,
+            {
+                "mod.py": (
+                    "import numpy as np\n"
+                    "\n"
+                    "def run():\n"
+                    "    return np.zeros(3)\n"
+                ),
+            },
+        )
+        assert self._calls_of(graph, "mod.run") == []

@@ -18,12 +18,14 @@ from repro.engine import (
     StreamSimulator,
 )
 from repro.engine.faults import (
+    FaultError,
     monitor_dropout,
     network_degradation,
     network_partition,
     node_crash,
     node_slowdown,
 )
+from repro.engine.trace import SimulationTrace
 from repro.engine.monitor import StatisticsMonitor
 from repro.query import LogicalPlan, Operator, Query, StreamSchema
 from repro.workloads import ConstantRate, Workload
@@ -345,6 +347,64 @@ class TestReportFailureMetrics:
         summary = report.to_dict()
         assert summary["batches_dropped"] == report.batches_dropped
         assert summary["availability"] == pytest.approx(report.availability)
+
+
+class FailingHookStrategy(FixedPlanStrategy):
+    """Strategy whose on_fault always fails the sanctioned way."""
+
+    name = "failing-hook"
+
+    def on_fault(self, simulator, event) -> None:
+        raise FaultError(f"cannot degrade for {event.kind}")
+
+
+class RudeHookStrategy(FixedPlanStrategy):
+    """Strategy whose on_fault raises an unsanctioned exception."""
+
+    name = "rude-hook"
+
+    def on_fault(self, simulator, event) -> None:
+        raise RuntimeError("hook bug")
+
+
+class TestFaultHookErrors:
+    """Regression: the run and its accounting survive a failing hook.
+
+    ``on_fault`` hooks may raise :class:`FaultError` (and only that);
+    the simulator counts each in ``report.fault_hook_errors`` and keeps
+    going — the fault it injected must still be measured.  The static
+    counterpart is the ``fault-hook-raises`` audit pass.
+    """
+
+    def _run(self, scenario, strategy_cls, *, trace=None):
+        query, cluster, placement, plan, workload = scenario
+        strategy = strategy_cls(plan, placement)
+        faults = FaultSchedule(node_crash(20.0, 0, 15.0))
+        sim = StreamSimulator(
+            query, cluster, strategy, workload, seed=3, faults=faults, trace=trace
+        )
+        return sim.run(60.0)
+
+    def test_fault_error_is_counted_and_run_survives(self, scenario):
+        trace = SimulationTrace()
+        report = self._run(scenario, FailingHookStrategy, trace=trace)
+        # The hook failed on both events (crash + recover)...
+        assert report.fault_hook_errors == report.fault_events == 2
+        # ...but the run finished and the ledger still balances.
+        assert report.batches_completed > 0
+        assert report.conservation_holds()
+        assert report.to_dict()["fault_hook_errors"] == 2
+        details = [e.detail for e in trace.filter(kind="fault_hook_error")]
+        assert len(details) == 2
+        assert "cannot degrade" in details[0]
+
+    def test_clean_hook_leaves_counter_at_zero(self, scenario):
+        report = self._run(scenario, FixedPlanStrategy)
+        assert report.fault_hook_errors == 0
+
+    def test_unsanctioned_exception_propagates(self, scenario):
+        with pytest.raises(RuntimeError, match="hook bug"):
+            self._run(scenario, RudeHookStrategy)
 
 
 # ----------------------------------------------------------------------

@@ -6,6 +6,7 @@ import pytest
 
 from repro.core import Cluster
 from repro.engine import StreamSimulator
+from repro.engine.faults import FaultError, FaultEvent, FaultSchedule, node_crash
 from repro.query import Operator, Query, StreamSchema
 from repro.runtime import DYNStrategy
 from repro.workloads import ConstantRate, RegimeSwitchSelectivity, Workload
@@ -82,3 +83,49 @@ class TestDYN:
             DYNStrategy(three_op_query, cluster, imbalance_threshold=0.0)
         with pytest.raises(ValueError):
             DYNStrategy(three_op_query, cluster, cooldown_seconds=0.0)
+
+
+class _StubNode:
+    def __init__(self, node_id: int, online: bool) -> None:
+        self.node_id = node_id
+        self.online = online
+        self.busy_seconds = 0.0
+
+
+class _ExplodingSimulator:
+    """Duck-typed simulator whose migrate() fails mid-evacuation."""
+
+    def __init__(self) -> None:
+        self.nodes = [_StubNode(0, online=False), _StubNode(1, online=True)]
+        self.now = 12.0
+
+    @property
+    def current_placement(self) -> dict[int, int]:
+        return {0: 0, 1: 1, 2: 1}
+
+    def migrate(self, op_id: int, node_id: int) -> None:
+        raise RuntimeError("migration rejected mid-flight")
+
+
+class TestDYNFaultHook:
+    def test_evacuation_failure_becomes_fault_error(self, skewed_query):
+        """Regression (found by `repro audit`): migrate() can raise
+        RuntimeError/ValueError out of on_fault, past the engine's
+        fault accounting.  The hook must convert to FaultError."""
+        strategy = DYNStrategy(skewed_query, Cluster.homogeneous(2, 600.0))
+        event = FaultEvent(time=12.0, kind="crash", node=0)
+        with pytest.raises(FaultError, match="evacuation of node 0"):
+            strategy.on_fault(_ExplodingSimulator(), event)
+
+    def test_crash_evacuation_still_works_end_to_end(self, skewed_query):
+        cluster = Cluster.homogeneous(2, 600.0)
+        strategy = DYNStrategy(skewed_query, cluster)
+        workload = Workload(skewed_query, rate_profile=ConstantRate(1.0))
+        faults = FaultSchedule(node_crash(20.0, 0, 20.0))
+        sim = StreamSimulator(
+            skewed_query, cluster, strategy, workload, seed=3, faults=faults
+        )
+        report = sim.run(80.0)
+        assert report.fault_hook_errors == 0
+        assert report.batches_completed > 0
+        assert report.conservation_holds()

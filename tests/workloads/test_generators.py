@@ -95,6 +95,30 @@ class TestSelectivityProfiles:
         values = [profile.value(0, float(t), 0.5) for t in range(200)]
         assert min(values) < 0.5 < max(values)
 
+    def test_random_walk_independent_of_query_order(self):
+        """Regression: a single shared generator made each operator's
+        walk depend on the order (and times) other operators were
+        queried.  Per-operator child generators make every walk a pure
+        function of the seed."""
+        a = RandomWalkSelectivity({0: 3, 1: 3}, seed=9)
+        b = RandomWalkSelectivity({0: 3, 1: 3}, seed=9)
+        # a: op 0 first, then op 1; b: reversed, with extra interleaving.
+        a_op0 = a.value(0, 50.0, 0.5)
+        a_op1 = a.value(1, 50.0, 0.5)
+        b.value(1, 200.0, 0.5)  # extend op 1's walk far ahead first
+        b_op0 = b.value(0, 50.0, 0.5)
+        b_op1 = b.value(1, 50.0, 0.5)
+        assert a_op0 == b_op0
+        assert a_op1 == b_op1
+
+    def test_random_walk_accepts_generator_seed(self):
+        import numpy as np
+
+        a = RandomWalkSelectivity({0: 2, 1: 2}, seed=np.random.default_rng(5))
+        b = RandomWalkSelectivity({0: 2, 1: 2}, seed=np.random.default_rng(5))
+        assert a.value(0, 30.0, 0.5) == b.value(0, 30.0, 0.5)
+        assert a.value(1, 30.0, 0.5) == b.value(1, 30.0, 0.5)
+
 
 class TestWorkload:
     def test_rate_composition(self, three_op_query):
