@@ -18,7 +18,7 @@ test:
 # Static gates: the repro-lint invariant checker, the whole-program
 # repro-audit (call-graph + interprocedural passes), then mypy --strict
 # over the determinism/parity-critical packages (core + query + engine
-# + runtime; config in pyproject.toml).  mypy is an optional dev
+# + runtime + workloads; config in pyproject.toml).  mypy is an optional dev
 # dependency — when it is not installed the type gate is skipped with a
 # notice so `make lint` still works in minimal environments; CI always
 # installs it, so the gate is enforced there.
@@ -26,7 +26,7 @@ lint:
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro lint
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro audit
 	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
-		$(PYTHON) -m mypy --strict src/repro/core src/repro/query src/repro/engine src/repro/runtime; \
+		$(PYTHON) -m mypy --strict src/repro/core src/repro/query src/repro/engine src/repro/runtime src/repro/workloads; \
 	else \
 		echo "mypy not installed; skipping the strict-typing gate (CI enforces it)"; \
 	fi

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.util.rng import derive_rng
+from repro.util.types import AnyArray, FloatArray
 
 __all__ = ["DistributionSummary", "summarize", "table2_distributions"]
 
@@ -49,27 +50,27 @@ class DistributionSummary:
         }
 
 
-def summarize(name: str, samples: np.ndarray) -> DistributionSummary:
+def summarize(name: str, samples: AnyArray) -> DistributionSummary:
     """Compute Table 2's moments for a sample array.
 
     Skew is the standardized third central moment; kurtosis is *excess*
     kurtosis (normal = 0), matching the paper's Uniform ≈ −1.2 and
     Poisson(1) ≈ 1.9 entries.
     """
-    samples = np.asarray(samples, dtype=float)
-    if samples.size < 2:
+    values: FloatArray = np.asarray(samples, dtype=np.float64)
+    if values.size < 2:
         raise ValueError("need at least 2 samples to summarize")
-    mean = float(samples.mean())
-    centered = samples - mean
+    mean = float(values.mean())
+    centered = values - mean
     variance = float(centered.var())  # population variance, as in Table 2
     std = float(np.sqrt(variance))
     skew = float((centered**3).mean() / std**3) if std > 0 else 0.0
     kurtosis = float((centered**4).mean() / std**4 - 3.0) if std > 0 else 0.0
     return DistributionSummary(
         name=name,
-        minimum=float(samples.min()),
-        maximum=float(samples.max()),
-        median=float(np.median(samples)),
+        minimum=float(values.min()),
+        maximum=float(values.max()),
+        median=float(np.median(values)),
         mean=mean,
         average_deviation=float(np.abs(centered).mean()),
         standard_deviation=std,

@@ -12,12 +12,22 @@ between samples and clamp-at-the-ends semantics.
 from __future__ import annotations
 
 import bisect
-from typing import Mapping, Sequence
+from typing import Mapping, Protocol, Sequence
 
 from repro.query.model import Query
 from repro.query.statistics import StatPoint, rate_param
 
 __all__ = ["ReplayWorkload"]
+
+
+class _Recordable(Protocol):
+    """What :meth:`ReplayWorkload.record` needs from its source: the
+    structural subset of the simulator's ground-truth protocol."""
+
+    @property
+    def query(self) -> Query: ...
+
+    def stat_point(self, time: float) -> StatPoint: ...
 
 
 class ReplayWorkload:
@@ -72,7 +82,7 @@ class ReplayWorkload:
     @classmethod
     def record(
         cls,
-        workload,
+        workload: _Recordable,
         *,
         duration: float,
         n_samples: int = 200,

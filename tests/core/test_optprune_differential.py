@@ -1,0 +1,185 @@
+"""Differential tests: OptPrune vs exhaustive ground truth, serial vs parallel.
+
+On small instances (≤ 3 nodes, ≤ 6 operators) the whole search space is
+enumerable, so three-way agreement is checkable exactly:
+
+* ``opt_prune`` must match ``exhaustive_physical``'s optimal score
+  (§6.4's optimality claim — Figure 14);
+* ``opt_prune_heterogeneous`` must match brute force over all ``n^m``
+  operator→node assignments;
+* the sharded parallel search must reproduce the serial result
+  *bitwise* — same plan, same supported set, same score — not merely
+  the same score.
+"""
+
+from __future__ import annotations
+
+from itertools import product as iter_product
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Cluster,
+    ParallelConfig,
+    ParallelContext,
+    PhysicalPlan,
+    PlanLoadTable,
+    exhaustive_physical,
+)
+from repro.core.optprune import opt_prune, opt_prune_heterogeneous
+from repro.query import LogicalPlan
+
+_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: One strategy draw = (n_ops, n_plans, rng seed); loads and weights
+#: come from a seeded generator so examples shrink reproducibly.
+_INSTANCES = st.tuples(
+    st.integers(min_value=3, max_value=6),
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+
+
+def _random_table(n_ops: int, n_plans: int, seed: int) -> PlanLoadTable:
+    """A synthetic load table with distinct per-plan load profiles."""
+    rng = np.random.default_rng(seed)
+    orders = []
+    base = tuple(range(n_ops))
+    while len(orders) < n_plans:
+        order = tuple(rng.permutation(n_ops).tolist())
+        if order not in orders:
+            orders.append(order)
+    plans = [LogicalPlan(order) for order in orders]
+    loads = {
+        plan: {op: float(rng.uniform(5.0, 60.0)) for op in base}
+        for plan in plans
+    }
+    raw = rng.uniform(0.1, 1.0, size=len(plans))
+    weights = {
+        plan: float(raw[i] / raw.sum()) for i, plan in enumerate(plans)
+    }
+    return PlanLoadTable(plans, loads, weights)
+
+
+def _result_key(result):
+    """The deterministic face of a PhysicalPlanResult (no timings)."""
+    return (
+        result.algorithm,
+        result.physical_plan,
+        result.supported_plans,
+        result.score,
+    )
+
+
+def _brute_force_score(table: PlanLoadTable, cluster: Cluster) -> float:
+    """Ground truth for heterogeneous clusters: all n^m assignments."""
+    ops = list(table.operator_ids)
+    best = 0.0
+    for assignment in iter_product(range(cluster.n_nodes), repeat=len(ops)):
+        blocks = [set() for _ in range(cluster.n_nodes)]
+        for op_id, node in zip(ops, assignment):
+            blocks[node].add(op_id)
+        plan = PhysicalPlan(tuple(frozenset(b) for b in blocks))
+        mask = plan.support_mask(table, cluster)
+        best = max(best, table.score(mask))
+    return best
+
+
+class TestHomogeneousDifferential:
+    @_SETTINGS
+    @given(
+        instance=_INSTANCES,
+        n_nodes=st.integers(min_value=2, max_value=3),
+        tightness=st.sampled_from([0.6, 1.0, 1.6]),
+        jobs=st.sampled_from([2, 4]),
+    )
+    def test_serial_and_parallel_match_exhaustive(
+        self, instance, n_nodes, tightness, jobs
+    ):
+        n_ops, n_plans, seed = instance
+        table = _random_table(n_ops, n_plans, seed)
+        # Capacity scaled around the mean per-node share so instances
+        # range from mostly-infeasible to fully-feasible.
+        total = float(table.load_matrix.sum(axis=1).max())
+        capacity = tightness * total / n_nodes
+        cluster = Cluster.homogeneous(n_nodes, capacity)
+
+        serial = opt_prune(table, cluster)
+        truth = exhaustive_physical(table, cluster)
+        assert serial.score == truth.score
+        assert set(serial.supported_plans) == set(truth.supported_plans)
+
+        with ParallelContext(ParallelConfig(jobs=jobs)) as context:
+            parallel = opt_prune(table, cluster, parallel=context)
+        assert _result_key(parallel) == _result_key(serial)
+
+    @_SETTINGS
+    @given(instance=_INSTANCES, jobs=st.sampled_from([2, 4]))
+    def test_parallel_matches_serial_without_rebalance(self, instance, jobs):
+        # rebalance=False exposes the raw branch-and-bound winner — the
+        # strictest check that the merge picks the *same* assignment,
+        # not merely an equally-scored one.
+        n_ops, n_plans, seed = instance
+        table = _random_table(n_ops, n_plans, seed)
+        total = float(table.load_matrix.sum(axis=1).max())
+        cluster = Cluster.homogeneous(3, 0.8 * total / 3)
+        serial = opt_prune(table, cluster, rebalance=False)
+        with ParallelContext(ParallelConfig(jobs=jobs)) as context:
+            parallel = opt_prune(
+                table, cluster, rebalance=False, parallel=context
+            )
+        assert _result_key(parallel) == _result_key(serial)
+
+    def test_infeasible_instance_stays_infeasible_in_parallel(self):
+        table = _random_table(4, 3, seed=5)
+        cluster = Cluster.homogeneous(2, 1.0)  # nothing fits
+        serial = opt_prune(table, cluster)
+        with ParallelContext(ParallelConfig(jobs=2)) as context:
+            parallel = opt_prune(table, cluster, parallel=context)
+        assert not serial.feasible
+        assert _result_key(parallel) == _result_key(serial)
+
+
+class TestHeterogeneousDifferential:
+    @_SETTINGS
+    @given(
+        instance=_INSTANCES,
+        capacity_profile=st.sampled_from(
+            [(1.4, 0.5), (1.0, 0.8, 0.4), (0.9, 0.9)]
+        ),
+        jobs=st.sampled_from([2, 4]),
+    )
+    def test_serial_and_parallel_match_brute_force(
+        self, instance, capacity_profile, jobs
+    ):
+        n_ops, n_plans, seed = instance
+        if n_ops > 5:
+            n_ops = 5  # keep the n^m brute force cheap
+        table = _random_table(n_ops, n_plans, seed)
+        total = float(table.load_matrix.sum(axis=1).max())
+        share = total / len(capacity_profile)
+        cluster = Cluster(tuple(f * share for f in capacity_profile))
+
+        serial = opt_prune_heterogeneous(table, cluster)
+        assert serial.score == _brute_force_score(table, cluster)
+
+        with ParallelContext(ParallelConfig(jobs=jobs)) as context:
+            parallel = opt_prune_heterogeneous(table, cluster, parallel=context)
+        assert _result_key(parallel) == _result_key(serial)
+
+    def test_equal_capacity_symmetry_break_matches_serial(self):
+        # All-equal capacities exercise the empty-node symmetry skip in
+        # both the shard expansion and the worker replay.
+        table = _random_table(5, 3, seed=77)
+        total = float(table.load_matrix.sum(axis=1).max())
+        cluster = Cluster((total / 2,) * 3)
+        serial = opt_prune_heterogeneous(table, cluster)
+        with ParallelContext(ParallelConfig(jobs=4)) as context:
+            parallel = opt_prune_heterogeneous(table, cluster, parallel=context)
+        assert _result_key(parallel) == _result_key(serial)

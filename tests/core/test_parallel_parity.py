@@ -1,0 +1,265 @@
+"""Bitwise parity of the parallel compile pipeline with the serial path.
+
+The `repro.core.parallel` subsystem promises that `--jobs N` changes
+*when* the expensive leaf work runs (worker processes, speculatively)
+but never *what* the compiler computes: logical solutions, discovery
+logs, call accounting, the aging-counter stopping point, plan weights,
+and physical plans must all be bitwise-identical to `--jobs 1`.  These
+tests drive random queries, spaces, budgets, and epsilon values through
+both paths and compare everything observable.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Cluster,
+    EarlyTerminatedRobustPartitioning,
+    ParallelConfig,
+    ParallelContext,
+    RLDConfig,
+    RLDOptimizer,
+    WeightedRobustPartitioning,
+)
+from repro.core.parameter_space import ParameterSpace
+from repro.core.parallel import SpeculativeOptimizer
+from repro.query.optimizer import make_optimizer
+from repro.workloads.queries import build_nway, build_q1
+
+# Pool start-up dominates each example, so examples are few but each
+# covers a full compile; deadline is disabled for the same reason.
+_SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _estimate(query, level: int, n_dims: int):
+    """Uncertainty on the first ``n_dims`` selectivities."""
+    uncertainty = {
+        op.selectivity_param: level for op in query.operators[:n_dims]
+    }
+    return query.default_estimates(uncertainty)
+
+
+def _partitioning_key(result):
+    """Everything a partitioning run observably computes."""
+    return (
+        result.solution.plans,
+        result.solution.discoveries,
+        result.optimizer_calls,
+        result.regions_processed,
+        result.terminated_early,
+        result.budget_exhausted,
+        result.unresolved_regions,
+        result.weight_computations,
+        result.weight_skips,
+        tuple(
+            tuple(result.solution.verified_regions_of(plan))
+            for plan in result.solution.plans
+        ),
+    )
+
+
+def _run_erp(query, space, *, epsilon, max_calls, jobs, early=True):
+    cls = (
+        EarlyTerminatedRobustPartitioning if early else WeightedRobustPartitioning
+    )
+    if jobs == 1:
+        partitioner = cls(
+            query,
+            space,
+            optimizer=make_optimizer(query),
+            epsilon=epsilon,
+            max_calls=max_calls,
+        )
+        return partitioner.run()
+    with ParallelContext(ParallelConfig(jobs=jobs)) as context:
+        partitioner = cls(
+            query,
+            space,
+            optimizer=make_optimizer(query),
+            epsilon=epsilon,
+            max_calls=max_calls,
+            parallel=context,
+        )
+        return partitioner.run()
+
+
+class TestERPParity:
+    @_SETTINGS
+    @given(
+        n_ops=st.integers(min_value=3, max_value=5),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        chain=st.booleans(),
+        n_dims=st.integers(min_value=1, max_value=2),
+        level=st.integers(min_value=1, max_value=3),
+        epsilon=st.sampled_from([0.1, 0.2, 0.35]),
+        max_calls=st.sampled_from([None, 4, 9]),
+        jobs=st.sampled_from([2, 4]),
+    )
+    def test_erp_bitwise_identical(
+        self, n_ops, seed, chain, n_dims, level, epsilon, max_calls, jobs
+    ):
+        query = build_nway(n_ops, seed=seed, chain=chain)
+        estimate = _estimate(query, level, n_dims)
+        space = ParameterSpace.from_estimates(estimate, points_per_level=2)
+        serial = _run_erp(
+            query, space, epsilon=epsilon, max_calls=max_calls, jobs=1
+        )
+        parallel = _run_erp(
+            query, space, epsilon=epsilon, max_calls=max_calls, jobs=jobs
+        )
+        assert _partitioning_key(parallel) == _partitioning_key(serial)
+
+    def test_aging_counter_stop_identical(self):
+        # A query/space where ERP demonstrably stops early: the parallel
+        # run must stop at the same region count despite workers having
+        # speculatively solved points beyond the stopping wave.
+        query = build_q1()
+        estimate = _estimate(query, 3, 3)
+        space = ParameterSpace.from_estimates(estimate, points_per_level=2)
+        serial = _run_erp(query, space, epsilon=0.02, max_calls=None, jobs=1)
+        parallel = _run_erp(query, space, epsilon=0.02, max_calls=None, jobs=4)
+        assert serial.terminated_early
+        assert _partitioning_key(parallel) == _partitioning_key(serial)
+
+    def test_budget_exhaustion_identical(self):
+        query = build_q1()
+        estimate = _estimate(query, 3, 3)
+        space = ParameterSpace.from_estimates(estimate, points_per_level=2)
+        serial = _run_erp(query, space, epsilon=0.02, max_calls=5, jobs=1)
+        parallel = _run_erp(query, space, epsilon=0.02, max_calls=5, jobs=2)
+        assert serial.budget_exhausted
+        assert _partitioning_key(parallel) == _partitioning_key(serial)
+
+    def test_prefetch_actually_hit(self):
+        # Guard against the pool silently never being used: the wrapper
+        # must have answered calls from the prefetch store.
+        query = build_q1()
+        estimate = _estimate(query, 3, 3)
+        space = ParameterSpace.from_estimates(estimate, points_per_level=2)
+        with ParallelContext(ParallelConfig(jobs=2)) as context:
+            partitioner = EarlyTerminatedRobustPartitioning(
+                query,
+                space,
+                optimizer=make_optimizer(query),
+                epsilon=0.2,
+                parallel=context,
+            )
+            partitioner.run()
+            wrapper = partitioner.optimizer
+            assert isinstance(wrapper, SpeculativeOptimizer)
+            assert wrapper.prefetch_hits > 0
+            assert context.worker_seconds.get("partitioning", 0.0) > 0.0
+
+
+def _solution_key(solution):
+    """Everything an RLD compile observably computes (no timings)."""
+    table = solution.load_table
+    return (
+        solution.logical.plans,
+        solution.logical.discoveries,
+        solution.partitioning.optimizer_calls,
+        solution.partitioning.terminated_early,
+        solution.partitioning.unresolved_regions,
+        tuple(table.weight_of(plan) for plan in table.plans),
+        solution.physical.algorithm,
+        solution.physical.physical_plan,
+        solution.physical.supported_plans,
+        solution.physical.score,
+    )
+
+
+class TestPipelineParity:
+    @_SETTINGS
+    @given(
+        n_ops=st.integers(min_value=3, max_value=5),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n_dims=st.integers(min_value=1, max_value=2),
+        level=st.integers(min_value=1, max_value=2),
+        jobs=st.sampled_from([2, 4]),
+        nodes=st.integers(min_value=2, max_value=4),
+    )
+    def test_full_compile_bitwise_identical(
+        self, n_ops, seed, n_dims, level, jobs, nodes
+    ):
+        query = build_nway(n_ops, seed=seed)
+        estimate = _estimate(query, level, n_dims)
+        cluster = Cluster.homogeneous(nodes, 420.0)
+        serial = RLDOptimizer(
+            query, cluster, config=RLDConfig()
+        ).solve(estimate)
+        parallel = RLDOptimizer(
+            query,
+            cluster,
+            config=RLDConfig(parallel=ParallelConfig(jobs=jobs)),
+        ).solve(estimate)
+        assert _solution_key(parallel) == _solution_key(serial)
+
+    def test_q1_jobs_sweep_identical(self):
+        query = build_q1()
+        cluster = Cluster.homogeneous(4, 420.0)
+        estimate = _estimate(query, 3, len(query.operators))
+        keys = []
+        for jobs in (1, 2, 4):
+            config = RLDConfig(parallel=ParallelConfig(jobs=jobs))
+            solution = RLDOptimizer(query, cluster, config=config).solve(
+                estimate
+            )
+            keys.append(_solution_key(solution))
+            if jobs > 1:
+                assert "workers:partitioning" in solution.stage_seconds
+        assert keys[1] == keys[0]
+        assert keys[2] == keys[0]
+
+    def test_serial_config_adds_no_worker_stages(self):
+        query = build_q1()
+        cluster = Cluster.homogeneous(4, 420.0)
+        estimate = _estimate(query, 2, 2)
+        solution = RLDOptimizer(query, cluster).solve(estimate)
+        assert not any(
+            name.startswith("workers:") for name in solution.stage_seconds
+        )
+
+
+class TestParallelConfig:
+    def test_rejects_bad_jobs(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="jobs"):
+            ParallelConfig(jobs=0)
+
+    def test_rejects_unknown_start_method(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="start_method"):
+            ParallelConfig(jobs=2, start_method="not-a-method")
+
+    def test_enabled_only_above_one_job(self):
+        assert not ParallelConfig().enabled
+        assert not ParallelConfig(jobs=1).enabled
+        assert ParallelConfig(jobs=2).enabled
+
+    def test_spawn_start_method_stays_deterministic(self):
+        # Off the fork start method the shared incumbent bound is
+        # unavailable; results must be identical regardless.
+        query = build_nway(4, seed=11)
+        estimate = _estimate(query, 2, 2)
+        space = ParameterSpace.from_estimates(estimate, points_per_level=2)
+        serial = _run_erp(query, space, epsilon=0.2, max_calls=None, jobs=1)
+        with ParallelContext(
+            ParallelConfig(jobs=2, start_method="spawn")
+        ) as context:
+            partitioner = EarlyTerminatedRobustPartitioning(
+                query,
+                space,
+                optimizer=make_optimizer(query),
+                epsilon=0.2,
+                parallel=context,
+            )
+            parallel = partitioner.run()
+        assert _partitioning_key(parallel) == _partitioning_key(serial)
